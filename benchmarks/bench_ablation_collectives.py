@@ -1,0 +1,65 @@
+"""Ablation — collective algorithm choice (DESIGN.md decision #2).
+
+Recursive-doubling allreduce is latency-optimal (log2 p rounds of the
+full payload); the ring variant is bandwidth-optimal (2(p-1) rounds of
+payload/p).  The FSI case's 16-byte dot products sit firmly on the
+recursive-doubling side — this ablation verifies the crossover exists
+and is on the correct side of 16 bytes.
+"""
+
+from repro.core.figures import ascii_table
+from repro.des import Environment
+from repro.hardware import catalog
+from repro.hardware.cluster import Cluster
+from repro.hardware.network import NetworkPath
+from repro.mpi import collectives
+from repro.mpi.comm import SimComm
+from repro.mpi.launcher import run_spmd
+from repro.mpi.perf import MpiPerf
+from repro.mpi.topology import RankMap
+
+
+def time_allreduce(algorithm, nbytes: float, p: int = 32, nodes: int = 8) -> float:
+    spec = catalog.MARENOSTRUM4
+    env = Environment()
+    cluster = Cluster(env, spec, num_nodes=nodes)
+    cluster.wire_network(NetworkPath.HOST_NATIVE)
+    perf = MpiPerf.for_fabric(spec.fabric, NetworkPath.HOST_NATIVE)
+    comm = SimComm(env, cluster, RankMap(p, nodes), perf)
+
+    def body(c, rank):
+        yield from algorithm(c, rank, op=1, nbytes=nbytes)
+
+    procs = run_spmd(comm, body)
+    env.run(until=env.all_of(procs))
+    return env.now
+
+
+def test_ablation_allreduce_algorithms(once):
+    sizes = [16.0, 1e3, 1e5, 1e7, 1e8]
+
+    def sweep():
+        return [
+            (
+                size,
+                time_allreduce(collectives.allreduce, size),
+                time_allreduce(collectives.allreduce_ring, size),
+            )
+            for size in sizes
+        ]
+
+    table = once(sweep)
+    rows = [[f"{int(s):>9d} B", rd * 1e6, ring * 1e6] for s, rd, ring in table]
+    print(
+        "\n"
+        + ascii_table(
+            ["payload", "recursive-doubling [us]", "ring [us]"], rows
+        )
+    )
+
+    small = table[0]
+    large = table[-1]
+    # The 16-byte dot product must prefer recursive doubling...
+    assert small[1] < small[2]
+    # ...and very large payloads must prefer the ring.
+    assert large[2] < large[1]

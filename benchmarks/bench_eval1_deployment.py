@@ -1,0 +1,30 @@
+"""§B.1 table — deployment overhead, image size, execution time.
+
+Regenerates the containerization-solutions metrics on Lenox and asserts
+the orderings the paper reports: Docker's per-node pull+extract dwarfs
+Singularity's loop mount; squashfs SIF images are the smallest on disk;
+bare-metal deploys for free.
+"""
+
+from repro.core.figures import deployment_table
+from repro.core.report import check_deployment
+from repro.core.study import ContainerSolutionsStudy
+
+
+def test_eval1_deployment_overhead_and_image_size(once):
+    study = ContainerSolutionsStudy(configs=((28, 4),), sim_steps=1)
+    outcome = once(study.run)
+
+    rows = outcome.deployment_rows()
+    print("\n" + deployment_table(rows))
+    verdicts = check_deployment(rows)
+    assert all(verdicts.values()), verdicts
+
+    by_rt = {r["runtime"]: r for r in rows}
+    # Deployment-cost classes: bare-metal 0, Singularity sub-second,
+    # Shifter pays a one-time gateway conversion, Docker pull+extract.
+    assert by_rt["singularity"]["deployment_seconds"] < 1.0
+    assert by_rt["shifter"]["deployment_seconds"] > 1.0
+    assert by_rt["docker"]["deployment_seconds"] > by_rt["shifter"][
+        "deployment_seconds"
+    ]

@@ -1,0 +1,46 @@
+"""Extension — deployment overhead as a function of node count.
+
+§B.1 measures deployment on 4 nodes; production jobs span hundreds.
+This benchmark extends the deployment comparison along the node axis on
+a hypothetical all-runtimes MareNostrum4: Docker's per-node pull fans
+out over a shared registry egress and grows with the node count,
+Shifter's gateway conversion is paid once, and Singularity's loop mount
+is flat — the operational reason HPC sites converged on image-file
+runtimes.
+"""
+
+from repro.core.figures import ascii_table
+from repro.core.study_ext import DeploymentScalingStudy
+
+NODE_COUNTS = (4, 16, 64)
+
+
+def test_ext_deployment_scaling(once):
+    study = DeploymentScalingStudy(nodes=NODE_COUNTS)
+    outcome = once(study.run)
+
+    rows = []
+    for label, series in outcome.seconds.items():
+        rows.append([label] + [series[n] for n in NODE_COUNTS])
+    print(
+        "\n"
+        + ascii_table(
+            ["runtime"] + [f"{n} nodes [s]" for n in NODE_COUNTS], rows
+        )
+    )
+
+    sing, shift, dock = (
+        outcome.seconds["singularity"],
+        outcome.seconds["shifter"],
+        outcome.seconds["docker"],
+    )
+    # Singularity: flat (parallel loop mounts, no shared bottleneck).
+    assert outcome.growth("singularity") < 3
+    # Docker: the registry egress serializes the pulls — deployment time
+    # grows with the node count (≈ linear in total pulled bytes).
+    assert outcome.growth("docker") > 3
+    assert dock[64] - dock[16] > dock[16] - dock[4]
+    # Shifter: one conversion amortized; scales far better than Docker.
+    assert shift[64] < dock[64] / 4
+    # At 64 nodes the ordering is decisive.
+    assert sing[64] < shift[64] < dock[64]

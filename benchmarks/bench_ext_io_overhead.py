@@ -1,0 +1,99 @@
+"""Extension — I/O and storage through containers (the paper's future work).
+
+The paper closes: "Our study lacks a deeper evaluation of I/O and
+distributed storage performance using containers."  This benchmark
+provides that evaluation on the model: a checkpoint-writing workload
+executed three ways on a MareNostrum4 node —
+
+- bare-metal writes to the parallel filesystem;
+- a container writing through a *bind-mounted* scratch directory (the
+  recommended configuration): same bytes, same path, no extra cost;
+- a container writing into its *overlay* upper layer (the naive
+  configuration): every rewritten image file pays copy-up, and all
+  checkpoint bytes land on the node-local disk instead of the PFS.
+"""
+
+from repro.containers.builder import ImageBuilder
+from repro.containers.recipes import BuildTechnique, alya_recipe
+from repro.core.figures import ascii_table
+from repro.des import Environment
+from repro.hardware import catalog
+from repro.oskernel.mounts import MountTable, OverlayFS
+from repro.oskernel.vfs import FileSystem
+
+CHECKPOINT_BYTES = 4e9  # one 4 GB checkpoint
+REWRITTEN_IMAGE_FILES = ("/opt/alya/share/doc/alya.txt",)  # config rewrite
+
+
+def write_checkpoint_baremetal(env, cluster):
+    yield cluster.shared_fs.transfer(CHECKPOINT_BYTES)
+    return "pfs"
+
+
+def write_checkpoint_bind(env, cluster, node):
+    # Bind mount routes the write to the PFS: identical cost to bare-metal.
+    table = MountTable(FileSystem("host"))
+    table.rootfs.mkdir("/gpfs/scratch", parents=True)
+    table.bind(table.rootfs, "/gpfs/scratch", "/container/scratch")
+    table.write_file("/container/scratch/ckpt.h5", CHECKPOINT_BYTES)
+    yield cluster.shared_fs.transfer(CHECKPOINT_BYTES)
+    return "pfs-via-bind"
+
+
+def write_checkpoint_overlay(env, cluster, node, image):
+    overlay = OverlayFS(image.layer_trees())
+    # Rewriting files that live in a lower layer triggers copy-up.
+    for path in REWRITTEN_IMAGE_FILES:
+        overlay.write_file(path, overlay.du(path) or 1e6)
+    overlay.write_file("/ckpt.h5", CHECKPOINT_BYTES)
+    # Upper-layer writes land on the node-local disk.
+    yield node.disk.transfer(CHECKPOINT_BYTES + overlay.bytes_copied_up)
+    return overlay.bytes_copied_up
+
+
+def run_io_modes():
+    spec = catalog.MARENOSTRUM4
+    env = Environment()
+    from repro.hardware.cluster import Cluster
+
+    cluster = Cluster(env, spec, num_nodes=1)
+    node = cluster.node(0)
+    image = ImageBuilder().build_oci(
+        alya_recipe(BuildTechnique.SELF_CONTAINED)
+    ).image
+    times = {}
+
+    def timed(label, gen):
+        t0 = env.now
+        yield env.process(gen)
+        times[label] = env.now - t0
+
+    def main():
+        yield from timed("bare-metal -> PFS", write_checkpoint_baremetal(env, cluster))
+        yield from timed(
+            "container, bind-mounted scratch",
+            write_checkpoint_bind(env, cluster, node),
+        )
+        yield from timed(
+            "container, overlay upper",
+            write_checkpoint_overlay(env, cluster, node, image),
+        )
+
+    env.process(main())
+    env.run()
+    return times
+
+
+def test_ext_container_io_overhead(once):
+    times = once(run_io_modes)
+    rows = [[label, t] for label, t in times.items()]
+    print("\n" + ascii_table(["I/O configuration", "checkpoint time [s]"], rows))
+
+    bare = times["bare-metal -> PFS"]
+    bind = times["container, bind-mounted scratch"]
+    overlay = times["container, overlay upper"]
+    # Bind-mounted scratch is free; overlay writes pay dearly (local disk
+    # bandwidth + copy-up) — the operational guidance the paper's future
+    # work section asks for.
+    assert bind == bare
+    assert overlay > 5 * bare

@@ -1,0 +1,50 @@
+"""Extension — weak scaling (the paper measures strong scaling only).
+
+Strong scaling (Fig. 3) shrinks the per-node workload until communication
+dominates; weak scaling keeps cells-per-node constant and asks whether
+time per step stays flat as the machine grows.  The model predicts what
+practitioners observe: near-flat for the fabric-integrated modes (the
+log-depth allreduce grows mildly), clearly growing for the TCP-fallback
+self-contained container — portability costs more the bigger the job.
+"""
+
+from repro.core.figures import ascii_table
+from repro.core.study_ext import WeakScalingStudy
+
+
+def test_ext_weak_scaling(once):
+    study = WeakScalingStudy(nodes=(4, 16, 64))
+    outcome = once(study.run)
+
+    nodes = sorted(next(iter(outcome.results.values())))
+    rows = []
+    for label, series in outcome.results.items():
+        rows.append(
+            [label]
+            + [series[n].avg_step_seconds * 1e3 for n in nodes]
+            + [outcome.growth(label)]
+        )
+    print(
+        "\n"
+        + ascii_table(
+            ["variant"]
+            + [f"{n} nodes [ms/step]" for n in nodes]
+            + ["growth 4->64"],
+            rows,
+        )
+    )
+
+    # Weak-scaling flatness for the fabric-integrated modes.
+    assert outcome.growth("bare-metal") < 1.3
+    assert outcome.growth("singularity system-specific") < 1.3
+    # The TCP fallback grows markedly more.
+    assert (
+        outcome.growth("singularity self-contained")
+        > outcome.growth("bare-metal") + 0.1
+    )
+    # And it is slower in absolute terms everywhere.
+    sc = outcome.results["singularity self-contained"]
+    ss = outcome.results["singularity system-specific"]
+    assert all(
+        sc[n].avg_step_seconds > ss[n].avg_step_seconds for n in nodes
+    )

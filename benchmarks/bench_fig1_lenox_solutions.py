@@ -1,0 +1,24 @@
+"""Fig. 1 — average elapsed time of the artery CFD case on Lenox.
+
+Regenerates the full figure: four execution modes (bare-metal, Docker,
+Singularity, Shifter) across the five MPI x OpenMP layouts of 112 cores,
+and asserts the paper's shape: HPC runtimes track bare-metal, Docker
+degrades monotonically with MPI rank count.
+"""
+
+from repro.core.figures import fig1_table
+from repro.core.report import check_fig1
+from repro.core.study import ContainerSolutionsStudy
+
+
+def test_fig1_lenox_container_solutions(once):
+    outcome = once(ContainerSolutionsStudy(sim_steps=2).run)
+
+    print("\n" + fig1_table(outcome))
+    verdicts = check_fig1(outcome)
+    assert verdicts["singularity_tracks_bare_metal"], verdicts
+    assert verdicts["shifter_tracks_bare_metal"], verdicts
+    assert verdicts["docker_gap_grows_with_ranks"], verdicts
+    assert verdicts["docker_worst_at_112x1"], verdicts
+    assert verdicts["docker_gap_at_112x1_dwarfs_8x14"], verdicts
+    assert verdicts["docker_close_at_8x14"], verdicts

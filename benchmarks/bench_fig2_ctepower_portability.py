@@ -1,0 +1,18 @@
+"""Fig. 2 — artery CFD on CTE-POWER: bare-metal vs the two image flavours.
+
+Regenerates the 2-16 node series and asserts the paper's shape: the
+system-specific container equals bare-metal (it drives the EDR fabric);
+the self-contained one is slower everywhere and increasingly so.
+"""
+
+from repro.core.figures import fig2_table
+from repro.core.report import check_fig2
+from repro.core.study import PortabilityStudy
+
+
+def test_fig2_ctepower_portability(once):
+    fig2 = once(PortabilityStudy(sim_steps=2).run_fig2)
+
+    print("\n" + fig2_table(fig2))
+    verdicts = check_fig2(fig2)
+    assert all(verdicts.values()), verdicts

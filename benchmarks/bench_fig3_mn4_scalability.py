@@ -1,0 +1,21 @@
+"""Fig. 3 — Alya artery FSI scalability on MareNostrum4, 4-256 nodes.
+
+Regenerates the speedup plot (12,288 cores at the top end) and asserts
+the paper's shape: bare-metal and the system-specific container keep
+scaling to 256 nodes; the self-contained container stops at ~32.
+"""
+
+from repro.core.figures import fig3_table
+from repro.core.report import check_fig3
+from repro.core.study import ScalabilityStudy
+
+
+def test_fig3_mn4_fsi_scalability(once):
+    outcome = once(ScalabilityStudy(sim_steps=2).run)
+
+    print("\n" + fig3_table(outcome))
+    verdicts = check_fig3(outcome)
+    assert verdicts["bare_metal_scales_past_half_ideal"], verdicts
+    assert verdicts["system_specific_tracks_bare_metal"], verdicts
+    assert verdicts["self_contained_stops_scaling_at_32"], verdicts
+    assert verdicts["self_contained_far_below_ideal"], verdicts

@@ -1,0 +1,25 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one of the paper's tables or figures on the
+simulator and asserts its *shape* checks, so ``pytest benchmarks/
+--benchmark-only`` is both a performance record and a reproduction gate.
+Simulations are deterministic; one round per benchmark is exact.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    """``once(fn, *args)`` — single timed invocation of a study."""
+
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _run

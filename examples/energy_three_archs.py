@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Energy-to-solution across the three architectures (Mont-Blanc angle).
+
+The ThunderX mini-cluster comes from the Mont-Blanc project, whose thesis
+is energy-efficient HPC from mobile-class silicon.  The paper compares
+time-to-solution only; this example adds the energy dimension on top of
+the same portability study: the same containerised artery case, rebuilt
+per ISA, measured in seconds *and* joules.
+
+Run:  python examples/energy_three_archs.py
+"""
+
+from repro.alya.workmodel import AlyaWorkModel, CaseKind
+from repro.core.figures import ascii_table
+from repro.core.study import PortabilityStudy
+from repro.hardware import catalog
+from repro.hardware.power import energy_of, node_power
+
+
+def main() -> None:
+    work = AlyaWorkModel(
+        case=CaseKind.CFD, n_cells=3_000_000, cg_iters_per_step=25,
+        nominal_timesteps=200,
+    )
+    study = PortabilityStudy(sim_steps=2)
+    results, _ = study.run_three_archs(workmodel=work)
+
+    rows = []
+    for name, variants in results.items():
+        cluster = catalog.get_cluster(name)
+        r = variants["system-specific"]
+        energy_kj = energy_of(r, cluster) / 1e3
+        rows.append(
+            [
+                name,
+                cluster.node.arch.value,
+                node_power(cluster, "compute"),
+                r.elapsed_seconds,
+                energy_kj,
+            ]
+        )
+    print("Same case, two nodes each, Singularity system-specific images:\n")
+    print(
+        ascii_table(
+            ["machine", "ISA", "node power [W]", "time [s]", "energy [kJ]"],
+            rows,
+        )
+    )
+    by_name = {row[0]: row for row in rows}
+    arm = by_name["ThunderX"]
+    skl = by_name["MareNostrum4"]
+    print(
+        f"\nThunderX is {arm[3] / skl[3]:.1f}x slower than Skylake but its "
+        f"nodes draw {skl[2] / arm[2]:.1f}x less power;"
+    )
+    ratio = arm[4] / skl[4]
+    verdict = "costs more energy" if ratio > 1 else "saves energy"
+    print(
+        f"for this memory-bound case the Arm run {verdict} overall "
+        f"({ratio:.2f}x the joules)."
+    )
+
+
+if __name__ == "__main__":
+    main()

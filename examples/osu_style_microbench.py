@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""OSU-style microbenchmarks per execution mode.
+
+The point-to-point latency/bandwidth tables container papers lead with,
+generated on the simulated MareNostrum4 for the three network paths a
+container's MPI traffic can take.  These microscopic numbers *are* the
+macroscopic findings: multiply the latency column by the message count of
+an Alya step and Figs. 1-3 follow.
+
+Run:  python examples/osu_style_microbench.py
+"""
+
+from repro.core.figures import ascii_table
+from repro.hardware import catalog
+from repro.hardware.network import NetworkPath
+from repro.mpi.microbench import (
+    DEFAULT_SIZES,
+    allreduce_latency,
+    bisection_bandwidth,
+    ping_pong,
+)
+
+PATH_LABELS = {
+    NetworkPath.HOST_NATIVE: "bare-metal / system-specific",
+    NetworkPath.TCP_FALLBACK: "self-contained (TCP fallback)",
+    NetworkPath.BRIDGE_NAT: "Docker default bridge",
+}
+
+
+def main() -> None:
+    spec = catalog.MARENOSTRUM4
+    print(f"== osu_latency / osu_bw equivalents on {spec.name} "
+          f"({spec.fabric.name}) ==\n")
+
+    tables = {
+        path: ping_pong(spec, path, sizes=DEFAULT_SIZES)
+        for path in NetworkPath
+    }
+    rows = []
+    for i, size in enumerate(DEFAULT_SIZES):
+        row = [f"{int(size):>8d} B"]
+        for path in NetworkPath:
+            row.append(tables[path][i].latency_seconds * 1e6)
+        rows.append(row)
+    print("One-way latency [us]:\n")
+    print(
+        ascii_table(
+            ["message"] + [PATH_LABELS[p] for p in NetworkPath], rows
+        )
+    )
+
+    rows = []
+    for i, size in enumerate(DEFAULT_SIZES):
+        row = [f"{int(size):>8d} B"]
+        for path in NetworkPath:
+            row.append(tables[path][i].bandwidth_bytes_per_s / 1e9)
+        rows.append(row)
+    print("\nStreaming bandwidth [GB/s]:\n")
+    print(
+        ascii_table(
+            ["message"] + [PATH_LABELS[p] for p in NetworkPath], rows
+        )
+    )
+
+    print("\n8-byte allreduce latency [us] (the CG dot product):\n")
+    rows = []
+    for n in (4, 16, 64):
+        row = [f"{n} nodes"]
+        for path in NetworkPath:
+            row.append(allreduce_latency(spec, path, n, n) * 1e6)
+        rows.append(row)
+    print(
+        ascii_table(
+            ["scale"] + [PATH_LABELS[p] for p in NetworkPath], rows
+        )
+    )
+
+    print("\nBisection bandwidth, 4 nodes [GB/s]:\n")
+    rows = [
+        [PATH_LABELS[p], bisection_bandwidth(spec, p) / 1e9]
+        for p in NetworkPath
+    ]
+    print(ascii_table(["path", "bisection [GB/s]"], rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Pulsatile flow through a stenosed artery — the biology behind the paper.
+
+The paper's use case is blood flow through an artery; this example runs
+the miniature at its most physiological: a cardiac-cycle inflow (72 bpm)
+through vessels of increasing stenosis severity, reporting the peak
+throat velocity and pressure drop per severity — the quantities a
+clinical CFD study reads off the same kind of simulation.
+
+Run:  python examples/pulsatile_stenosis.py
+"""
+
+import numpy as np
+
+from repro.alya import analytic
+from repro.alya.geometry import ArteryGeometry
+from repro.alya.mesh import StructuredMesh
+from repro.alya.navier_stokes import (
+    BLOOD_KINEMATIC_VISCOSITY,
+    ChannelFlowSolver,
+)
+from repro.core.figures import ascii_table
+
+HEART_RATE_HZ = 1.2  # 72 bpm
+U_MAX = 0.3
+
+
+def run_severity(severity: float) -> dict:
+    geo = ArteryGeometry(stenosis_severity=severity)
+    mesh = StructuredMesh(geo, nx=96, ny=24)
+    solver = ChannelFlowSolver(
+        mesh,
+        u_max=U_MAX,
+        ramp_time=0.05,
+        pulse_frequency=HEART_RATE_HZ,
+        pulse_amplitude=0.4,
+    )
+    # Ramp plus one full cardiac cycle.
+    steps = int((0.05 + 1.0 / HEART_RATE_HZ) / solver.dt)
+    peak_throat = 0.0
+    peak_drop = 0.0
+    for _ in range(steps):
+        solver.step()
+        peak_throat = max(peak_throat, float(solver.centerline_velocity().max()))
+        p = solver.p[1:-1, 1:-1]
+        peak_drop = max(peak_drop, float(p[:, 2].mean() - p[:, -3].mean()))
+    return {
+        "severity": severity,
+        "throat_halfwidth_mm": geo.throat_halfwidth() * 1e3,
+        "peak_velocity": peak_throat,
+        "peak_pressure_drop": peak_drop,
+        "cg_iters": solver.stats.mean_cg_iterations,
+    }
+
+
+def main() -> None:
+    alpha = analytic.womersley_number(
+        0.005, HEART_RATE_HZ, BLOOD_KINEMATIC_VISCOSITY
+    )
+    re = analytic.reynolds_number(U_MAX, 0.005, BLOOD_KINEMATIC_VISCOSITY)
+    print(
+        f"Regime: Re = {re:.0f}, Womersley alpha = {alpha:.1f} "
+        "(large-artery pulsatile band)\n"
+    )
+    rows = []
+    for severity in (0.0, 0.2, 0.4, 0.6):
+        r = run_severity(severity)
+        rows.append(
+            [
+                f"{int(100 * r['severity'])}%",
+                r["throat_halfwidth_mm"],
+                r["peak_velocity"],
+                r["peak_pressure_drop"],
+            ]
+        )
+    print(
+        ascii_table(
+            [
+                "stenosis",
+                "throat half-width [mm]",
+                "peak velocity [m/s]",
+                "peak dP [Pa]",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nNarrower throats accelerate the jet and steepen the pressure"
+        "\ndrop — the hemodynamic signature a production Alya run resolves"
+        "\nin 3-D on the clusters this repository simulates."
+    )
+
+
+if __name__ == "__main__":
+    main()

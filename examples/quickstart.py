@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Quickstart: the two halves of the reproduction in two minutes.
+
+1. Run the *executable* mini-Alya: blood flow through an artery channel,
+   solved for real (Navier-Stokes, projection method), and measure the
+   workload's per-step behaviour.
+2. Feed that measured behaviour into the *simulated* cluster: the same
+   case containerised with Singularity on MareNostrum4 versus bare-metal.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.alya.geometry import ArteryGeometry
+from repro.alya.mesh import StructuredMesh
+from repro.alya.navier_stokes import ChannelFlowSolver
+from repro.alya.workmodel import AlyaWorkModel, CaseKind
+from repro.containers.recipes import BuildTechnique
+from repro.core.experiment import EndpointGranularity, ExperimentSpec
+from repro.core.runner import ExperimentRunner
+from repro.hardware import catalog
+
+
+def main() -> None:
+    # ---- 1. the real solver -------------------------------------------------
+    print("== Executable mini-Alya: artery CFD ==")
+    mesh = StructuredMesh(ArteryGeometry(stenosis_severity=0.3), nx=96, ny=24)
+    solver = ChannelFlowSolver(mesh, u_max=0.4)
+    stats = solver.run(120)
+    print(f"mesh: {mesh.nx}x{mesh.ny} cells ({mesh.n_fluid_cells} fluid)")
+    print(f"time step: {solver.dt * 1e3:.3f} ms of simulated blood flow")
+    print(f"pressure solver: {stats.mean_cg_iterations:.1f} CG iterations/step")
+    print(f"divergence residual: {stats.divergence_norms[-1]:.2e}")
+    print(f"peak centreline velocity: {solver.centerline_velocity().max():.3f} m/s")
+
+    # ---- 2. the measured work model, scaled to a production mesh -------------
+    work = AlyaWorkModel.measured_from(
+        mesh,
+        stats,
+        case=CaseKind.CFD,
+        scale_cells=10_000_000,
+        cg_iters_per_step=25,  # production solvers are preconditioned
+        nominal_timesteps=200,
+    )
+    print("\n== Simulated cluster run: MareNostrum4, 8 nodes ==")
+    runner = ExperimentRunner()
+    for runtime, technique in (
+        ("bare-metal", None),
+        ("singularity", BuildTechnique.SYSTEM_SPECIFIC),
+        ("singularity", BuildTechnique.SELF_CONTAINED),
+    ):
+        label = runtime if technique is None else f"{runtime} ({technique.value})"
+        spec = ExperimentSpec(
+            name=f"quickstart-{label}",
+            cluster=catalog.MARENOSTRUM4,
+            runtime_name=runtime,
+            technique=technique,
+            workmodel=work,
+            n_nodes=8,
+            ranks_per_node=48,
+            threads_per_rank=1,
+            sim_steps=2,
+            granularity=EndpointGranularity.NODE,
+        )
+        result = runner.run(spec)
+        print(
+            f"{label:36s} elapsed {result.elapsed_seconds:8.1f} s   "
+            f"deploy {result.deployment_seconds:6.2f} s   "
+            f"image {result.image_size_bytes / 1e6:7.1f} MB"
+        )
+    print(
+        "\nThe system-specific container matches bare-metal (it drives the"
+        "\nOmni-Path fabric through the host MPI); the self-contained one"
+        "\nfalls back to TCP and pays for it — the paper's central finding."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Thin setup shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so the
+package can be installed editable on machines without the ``wheel`` package
+(``python setup.py develop`` / ``pip install -e . --no-build-isolation``).
+"""
+
+from setuptools import setup
+
+setup()

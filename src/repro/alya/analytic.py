@@ -1,0 +1,58 @@
+"""Analytic reference solutions used to validate the mini-solver.
+
+Plane Poiseuille flow — the fully developed laminar profile in a 2-D
+channel — has a closed form against which the CFD solver's developed
+state is checked: parabolic velocity, a linear pressure drop, and a flow
+rate of ``(2/3) u_max · H`` per unit depth.  The Womersley and Reynolds
+numbers classify the regime (the solver's defaults sit in the laminar,
+quasi-steady band appropriate for the model's assumptions).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def poiseuille_profile(y: np.ndarray, half_width: float, u_max: float) -> np.ndarray:
+    """Fully developed velocity profile ``u(y)`` for a channel of
+    half-width ``h`` centred at ``y = h`` (walls at 0 and 2h)."""
+    y = np.asarray(y, dtype=float)
+    if half_width <= 0:
+        raise ValueError("half_width must be positive")
+    return u_max * (1.0 - ((y - half_width) / half_width) ** 2)
+
+
+def poiseuille_flow_rate(half_width: float, u_max: float) -> float:
+    """Volumetric flow per unit depth: ``(2/3) u_max * 2h``."""
+    if half_width <= 0:
+        raise ValueError("half_width must be positive")
+    return (2.0 / 3.0) * u_max * 2.0 * half_width
+
+
+def poiseuille_pressure_gradient(
+    half_width: float, u_max: float, viscosity: float, density: float
+) -> float:
+    """dp/dx sustaining the profile: ``-2 mu u_max / h^2`` (mu = rho nu)."""
+    if half_width <= 0 or viscosity <= 0 or density <= 0:
+        raise ValueError("parameters must be positive")
+    mu = viscosity * density
+    return -2.0 * mu * u_max / half_width**2
+
+
+def reynolds_number(
+    u_max: float, half_width: float, viscosity: float
+) -> float:
+    """Channel Reynolds number on the hydraulic diameter ``4h``."""
+    if viscosity <= 0:
+        raise ValueError("viscosity must be positive")
+    return u_max * 4.0 * half_width / viscosity
+
+
+def womersley_number(
+    half_width: float, frequency_hz: float, viscosity: float
+) -> float:
+    """Womersley number ``alpha = h sqrt(omega / nu)`` for pulsatile flow."""
+    if frequency_hz < 0 or viscosity <= 0:
+        raise ValueError("invalid parameters")
+    omega = 2.0 * np.pi * frequency_hz
+    return half_width * np.sqrt(omega / viscosity)

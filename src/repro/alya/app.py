@@ -1,0 +1,463 @@
+"""The simulated Alya application: work model → DES rank program.
+
+:class:`SimulatedAlya` turns an :class:`~repro.alya.workmodel.AlyaWorkModel`
+into the SPMD generator each simulated endpoint executes:
+
+per time step —
+  1. the step's compute as one delay (predictor + CG arithmetic, threaded
+     through the OpenMP model, inflated by the runtime's CPU overhead);
+  2. the predictor halo exchange with the endpoint's grid neighbours;
+  3. ``cg_iters`` pressure-solver iterations, each a one-field halo
+     exchange plus a 16-byte allreduce (the dot products);
+  4. for FSI: gather of the wet-interface loads to the fluid root, the
+     solid code's step there, and the broadcast of displacements back.
+
+Endpoints can be MPI ranks (small jobs — Lenox) or whole nodes
+(hierarchical mode for the 256-node runs); in node mode the intra-node
+stage of each collective is folded in analytically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.alya.workmodel import AlyaWorkModel, CaseKind
+from repro.hardware.network import SHM_LATENCY
+from repro.mpi import collectives
+from repro.mpi.comm import SimComm
+from repro.mpi.datatypes import collective_tag
+from repro.mpi.perf import SHM_SW_OVERHEAD
+from repro.openmp.model import OpenMPModel
+
+#: Op-id stride reserved for one simulated time step.
+_OPS_PER_STEP = 2048
+_OP_HALO_MAIN = 0
+_OP_HALO_CG = 10  # + iteration
+_OP_ALLREDUCE = 700  # + iteration
+_OP_FSI_GATHER = 1900
+_OP_FSI_BCAST = 1901
+
+
+@dataclass(frozen=True)
+class ComputeContext:
+    """How fast an endpoint computes.
+
+    Attributes
+    ----------
+    core_peak_flops:
+        Peak DP flop/s of one core.
+    sustained_fraction:
+        Fraction of peak a memory-bound CFD assembly sustains (~5%).
+    omp:
+        The within-rank threading model.
+    threads_per_rank:
+        OpenMP threads per MPI rank.
+    cpu_overhead:
+        Runtime multiplier (1.005 for Docker, 1.0 otherwise).
+    endpoint_is_node:
+        True when one simulated endpoint stands for a whole node.
+    ranks_per_node:
+        True MPI ranks per node (used to fold intra-node costs in node
+        mode; ignored in rank mode).
+    """
+
+    core_peak_flops: float
+    sustained_fraction: float = 0.05
+    omp: OpenMPModel = OpenMPModel()
+    threads_per_rank: int = 1
+    cpu_overhead: float = 1.0
+    endpoint_is_node: bool = False
+    ranks_per_node: int = 1
+
+    def __post_init__(self) -> None:
+        if self.core_peak_flops <= 0:
+            raise ValueError("core_peak_flops must be positive")
+        if not 0 < self.sustained_fraction <= 1:
+            raise ValueError("sustained_fraction must be in (0, 1]")
+        if self.threads_per_rank < 1 or self.ranks_per_node < 1:
+            raise ValueError("threads and ranks must be >= 1")
+        if self.cpu_overhead < 1.0:
+            raise ValueError("cpu_overhead must be >= 1")
+
+    @property
+    def sustained_core_flops(self) -> float:
+        return self.core_peak_flops * self.sustained_fraction
+
+
+@dataclass
+class PhaseTimes:
+    """Where one endpoint's wall time went, in seconds."""
+
+    compute: float = 0.0
+    halo: float = 0.0
+    collective: float = 0.0
+    coupling: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.compute + self.halo + self.collective + self.coupling
+
+    def fractions(self) -> dict[str, float]:
+        """Normalised shares per phase (empty dict if nothing measured)."""
+        t = self.total
+        if t <= 0:
+            return {}
+        return {
+            "compute": self.compute / t,
+            "halo": self.halo / t,
+            "collective": self.collective / t,
+            "coupling": self.coupling / t,
+        }
+
+
+class SimulatedAlya:
+    """Executable model of one Alya job on the simulated cluster."""
+
+    def __init__(
+        self,
+        work: AlyaWorkModel,
+        ctx: ComputeContext,
+        sim_steps: int = 3,
+        topology: str = "grid",
+        overlap_halo: bool = False,
+    ) -> None:
+        if sim_steps < 1:
+            raise ValueError("sim_steps must be >= 1")
+        if topology not in ("grid", "chain"):
+            raise ValueError("topology must be 'grid' or 'chain'")
+        self.work = work
+        self.ctx = ctx
+        self.sim_steps = sim_steps
+        #: Overlap the predictor halo with the step's compute
+        #: (non-blocking exchange posted before the arithmetic, waited
+        #: after) — the classic latency-hiding optimisation, exposed for
+        #: the overlap ablation.
+        self.overlap_halo = overlap_halo
+        #: "grid" models a 3-D-ish decomposition (node x slot process
+        #: grid); "chain" models the 1-D axial slab partition of an
+        #: elongated vessel (each rank talks to at most 2 neighbours).
+        self.topology = topology
+
+    # -- cost helpers -------------------------------------------------------------
+    def true_ranks(self, n_endpoints: int) -> int:
+        """Actual MPI ranks the endpoints represent."""
+        if self.ctx.endpoint_is_node:
+            return n_endpoints * self.ctx.ranks_per_node
+        return n_endpoints
+
+    def compute_seconds_per_step(self, n_endpoints: int) -> float:
+        """Wall seconds of one step's arithmetic on the slowest endpoint."""
+        parts = self.true_ranks(n_endpoints)
+        serial = self.work.step_flops_per_part(parts) / self.ctx.sustained_core_flops
+        threaded = self.ctx.omp.threaded_time(serial, self.ctx.threads_per_rank)
+        return threaded * self.ctx.cpu_overhead
+
+    def solid_seconds_per_step(self, n_endpoints: int) -> float:
+        """FSI: the solid code's step time.
+
+        The paper's FSI case runs *two* parallel code instances; the solid
+        is itself distributed over the allocation, so its step time
+        strong-scales like the fluid's.  The residual serialisation of the
+        coupling is the root-level gather/solid/broadcast sequence.
+        """
+        if self.work.case is not CaseKind.FSI:
+            return 0.0
+        serial = self.work.solid_flops_per_step / self.ctx.sustained_core_flops
+        parallel = serial / self.true_ranks(n_endpoints)
+        return parallel * self.ctx.cpu_overhead
+
+    def _halo_parts(self, n_endpoints: int) -> int:
+        """Partition count whose surfaces cross the network.
+
+        In node mode only node-boundary surfaces travel inter-node, so
+        halos scale with the *node* partition; in rank mode with the rank
+        partition.
+        """
+        return n_endpoints
+
+    def intra_collective_penalty(self) -> float:
+        """Analytic intra-node stage of a collective (node mode only)."""
+        if not self.ctx.endpoint_is_node or self.ctx.ranks_per_node <= 1:
+            return 0.0
+        rounds = math.ceil(math.log2(self.ctx.ranks_per_node))
+        return rounds * (2 * SHM_SW_OVERHEAD + SHM_LATENCY)
+
+    # -- neighbour layout -----------------------------------------------------------
+    def neighbors(self, comm: SimComm, ep: int) -> list[tuple[int, int]]:
+        """Grid neighbours of ``ep`` as ``(neighbor, axis)`` pairs.
+
+        Endpoints form a (nodes × per-node) process grid: axis 0 connects
+        consecutive endpoints on one node (shared memory), axis 1 connects
+        the same slot on adjacent nodes (fabric).  In node mode the grid
+        degenerates to a chain of nodes.
+        """
+        rm = comm.rankmap
+        if self.topology == "chain":
+            out: list[tuple[int, int]] = []
+            if ep > 0:
+                out.append((ep - 1, 0))
+            if ep < rm.n_ranks - 1:
+                out.append((ep + 1, 0))
+            return out
+        per_node = 1 if self.ctx.endpoint_is_node else rm.ranks_per_node
+        node, j = divmod(ep, per_node) if per_node > 1 else (ep, 0)
+        if self.ctx.endpoint_is_node:
+            node, j = ep, 0
+        out: list[tuple[int, int]] = []
+        if per_node > 1:
+            if j > 0:
+                out.append((ep - 1, 0))
+            if j < per_node - 1 and ep + 1 < rm.n_ranks:
+                out.append((ep + 1, 0))
+        n_nodes = rm.n_nodes
+        if node > 0:
+            out.append((ep - per_node, 1))
+        if node < n_nodes - 1 and ep + per_node < rm.n_ranks:
+            out.append((ep + per_node, 1))
+        return out
+
+    def _post_halo(self, comm: SimComm, ep: int, op: int, nbytes: float):
+        """Post all non-blocking halo sends/receives; returns the events."""
+        events = []
+        for nb, axis in self.neighbors(comm, ep):
+            send_round = axis * 2 + (0 if nb < ep else 1)
+            recv_round = axis * 2 + (0 if ep < nb else 1)
+            events.append(
+                comm.isend(ep, nb, collective_tag(op, send_round), nbytes)
+            )
+            events.append(comm.recv(ep, nb, collective_tag(op, recv_round)))
+        return events
+
+    def _halo_exchange(self, comm: SimComm, ep: int, op: int, nbytes: float):
+        """Concurrent sendrecv with every neighbour (generator)."""
+        events = self._post_halo(comm, ep, op, nbytes)
+        if events:
+            yield comm.env.all_of(events)
+
+    # -- the SPMD program --------------------------------------------------------------
+    def rank_body(self, comm: SimComm, ep: int):
+        """Generator executed by endpoint ``ep``."""
+        env = comm.env
+        work = self.work
+        n = comm.size
+        comp = self.compute_seconds_per_step(n)
+        solid = self.solid_seconds_per_step(n)
+        halo_parts = self._halo_parts(n)
+        halo_main = work.halo_bytes_main(halo_parts)
+        halo_cg = work.halo_bytes_cg(halo_parts)
+        intra_pen = self.intra_collective_penalty()
+        iface = work.interface_bytes() if work.case is CaseKind.FSI else 0.0
+        phases = PhaseTimes()
+
+        for step in range(self.sim_steps):
+            base = step * _OPS_PER_STEP
+            if self.overlap_halo:
+                # Post the predictor halo, compute behind it, wait after.
+                pending = self._post_halo(
+                    comm, ep, base + _OP_HALO_MAIN, halo_main
+                )
+                t = env.now
+                yield env.timeout(comp)
+                phases.compute += env.now - t
+                t = env.now
+                if pending:
+                    yield env.all_of(pending)
+                phases.halo += env.now - t
+            else:
+                # 1. Arithmetic of the whole step.
+                t = env.now
+                yield env.timeout(comp)
+                phases.compute += env.now - t
+                # 2. Predictor halo.
+                t = env.now
+                yield from self._halo_exchange(
+                    comm, ep, base + _OP_HALO_MAIN, halo_main
+                )
+                phases.halo += env.now - t
+            # 3. Pressure solver: halo + dot-product allreduce per iteration.
+            for it in range(work.cg_iters_per_step):
+                t = env.now
+                yield from self._halo_exchange(
+                    comm, ep, base + _OP_HALO_CG + 2 * it, halo_cg
+                )
+                phases.halo += env.now - t
+                t = env.now
+                if intra_pen:
+                    yield env.timeout(intra_pen)
+                yield from collectives.allreduce(
+                    comm, ep, op=base + _OP_ALLREDUCE + it, nbytes=16.0
+                )
+                phases.collective += env.now - t
+            # 4. FSI coupling through the code roots.
+            if work.case is CaseKind.FSI:
+                t = env.now
+                yield from collectives.gather(
+                    comm,
+                    ep,
+                    op=base + _OP_FSI_GATHER,
+                    nbytes_per_rank=max(iface / n, 1.0),
+                    root=0,
+                )
+                if ep == 0:
+                    yield env.timeout(solid)
+                yield from collectives.bcast(
+                    comm, ep, op=base + _OP_FSI_BCAST, nbytes=iface, root=0
+                )
+                phases.coupling += env.now - t
+        return phases
+
+    def body(self):
+        """The SPMD entry point for :class:`~repro.mpi.launcher.MpiJob`."""
+        return self.rank_body
+
+
+class TwoCodeFsiAlya:
+    """The FSI case as the paper describes it: *two* code instances.
+
+    The allocation's endpoints split into a fluid group and a (much
+    smaller) solid group running concurrently as separate SPMD programs
+    over sub-communicators; each coupling step exchanges interface loads
+    and displacements between the two roots.  Compared with
+    :class:`SimulatedAlya`'s folded FSI model, the coupling here is a
+    true inter-code rendezvous: a slow solid stalls the fluid and vice
+    versa.
+
+    Parameters
+    ----------
+    work / ctx / sim_steps:
+        As for :class:`SimulatedAlya` (``work.case`` must be FSI).
+    solid_fraction:
+        Share of endpoints given to the solid code (≥ 1 endpoint).
+    """
+
+    def __init__(
+        self,
+        work: AlyaWorkModel,
+        ctx: ComputeContext,
+        sim_steps: int = 3,
+        solid_fraction: float = 0.1,
+    ) -> None:
+        if work.case is not CaseKind.FSI:
+            raise ValueError("TwoCodeFsiAlya requires an FSI work model")
+        if sim_steps < 1:
+            raise ValueError("sim_steps must be >= 1")
+        if not 0.0 < solid_fraction < 0.5:
+            raise ValueError("solid_fraction must be in (0, 0.5)")
+        self.work = work
+        self.ctx = ctx
+        self.sim_steps = sim_steps
+        self.solid_fraction = solid_fraction
+
+    def split(self, n_endpoints: int) -> tuple[list[int], list[int]]:
+        """(fluid members, solid members) for an ``n_endpoints`` job."""
+        if n_endpoints < 2:
+            raise ValueError("a two-code job needs at least 2 endpoints")
+        n_solid = max(1, int(round(n_endpoints * self.solid_fraction)))
+        n_fluid = n_endpoints - n_solid
+        return list(range(n_fluid)), list(range(n_fluid, n_endpoints))
+
+    # -- per-code cost helpers -----------------------------------------------
+    def _fluid_compute(self, n_fluid: int) -> float:
+        parts = n_fluid * (
+            self.ctx.ranks_per_node if self.ctx.endpoint_is_node else 1
+        )
+        serial = self.work.step_flops_per_part(parts) / self.ctx.sustained_core_flops
+        return (
+            self.ctx.omp.threaded_time(serial, self.ctx.threads_per_rank)
+            * self.ctx.cpu_overhead
+        )
+
+    def _solid_compute(self, n_solid: int) -> float:
+        parts = n_solid * (
+            self.ctx.ranks_per_node if self.ctx.endpoint_is_node else 1
+        )
+        serial = self.work.solid_flops_per_step / self.ctx.sustained_core_flops
+        return serial / parts * self.ctx.cpu_overhead
+
+    # -- the SPMD program -----------------------------------------------------
+    def rank_body(self, comm: SimComm, ep: int):
+        env = comm.env
+        work = self.work
+        fluid_members, solid_members = self.split(comm.size)
+        fluid = comm.group(fluid_members)
+        solid = comm.group(solid_members)
+        iface = work.interface_bytes()
+        fluid_root = fluid_members[0]
+        solid_root = solid_members[0]
+        is_fluid = ep in set(fluid_members)
+
+        if is_fluid:
+            g_rank = fluid.group_rank_of(ep)
+            comp = self._fluid_compute(len(fluid_members))
+            halo_cg = work.halo_bytes_cg(len(fluid_members))
+            halo_main = work.halo_bytes_main(len(fluid_members))
+            for step in range(self.sim_steps):
+                base = step * _OPS_PER_STEP
+                yield env.timeout(comp)
+                # Chain halo within the fluid group (slab partition).
+                events = []
+                for nb in (g_rank - 1, g_rank + 1):
+                    if 0 <= nb < fluid.size:
+                        events.append(
+                            fluid.isend(
+                                g_rank, nb,
+                                collective_tag(base, 2 + (nb > g_rank)),
+                                halo_main,
+                            )
+                        )
+                        events.append(
+                            fluid.recv(
+                                g_rank, nb,
+                                collective_tag(base, 2 + (nb < g_rank)),
+                            )
+                        )
+                if events:
+                    yield env.all_of(events)
+                for it in range(work.cg_iters_per_step):
+                    yield from collectives.allreduce(
+                        fluid, g_rank, op=base + _OP_ALLREDUCE + it, nbytes=16.0
+                    )
+                # Coupling: loads to the solid root, displacements back.
+                yield from collectives.gather(
+                    fluid, g_rank, op=base + _OP_FSI_GATHER,
+                    nbytes_per_rank=max(iface / fluid.size, 1.0), root=0,
+                )
+                if ep == fluid_root:
+                    yield comm.isend(
+                        fluid_root, solid_root,
+                        collective_tag(base, 800), iface,
+                    )
+                    yield comm.recv(
+                        fluid_root, solid_root, collective_tag(base, 801)
+                    )
+                yield from collectives.bcast(
+                    fluid, g_rank, op=base + _OP_FSI_BCAST, nbytes=iface,
+                    root=0,
+                )
+        else:
+            g_rank = solid.group_rank_of(ep)
+            comp = self._solid_compute(len(solid_members))
+            for step in range(self.sim_steps):
+                base = step * _OPS_PER_STEP
+                if ep == solid_root:
+                    yield comm.recv(
+                        solid_root, fluid_root, collective_tag(base, 800)
+                    )
+                yield from collectives.bcast(
+                    solid, g_rank, op=base + 950, nbytes=iface, root=0
+                )
+                yield env.timeout(comp)
+                yield from collectives.allreduce(
+                    solid, g_rank, op=base + 960, nbytes=16.0
+                )
+                yield from collectives.gather(
+                    solid, g_rank, op=base + 970,
+                    nbytes_per_rank=max(iface / solid.size, 1.0), root=0,
+                )
+                if ep == solid_root:
+                    yield comm.isend(
+                        solid_root, fluid_root,
+                        collective_tag(base, 801), iface,
+                    )
+        return None

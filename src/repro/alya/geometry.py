@@ -1,0 +1,72 @@
+"""Artery geometry: a 2-D channel with an optional stenosis.
+
+The paper's CFD case is blood flow through an artery.  The miniature uses
+a planar channel of length ``length`` and (half-)width ``radius``; an
+optional cosine-bump stenosis narrows the lumen, which is what makes the
+flow field non-trivial (acceleration through the throat, recirculation
+behind it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ArteryGeometry:
+    """Geometric description of the vessel.
+
+    Attributes
+    ----------
+    length:
+        Vessel length (m).
+    radius:
+        Undeformed lumen half-width (m).
+    stenosis_severity:
+        Fractional lumen reduction at the throat, in [0, 0.9]; 0 = none.
+    stenosis_center / stenosis_length:
+        Axial position and extent of the narrowing (m).
+    """
+
+    length: float = 0.1
+    radius: float = 0.005
+    stenosis_severity: float = 0.0
+    stenosis_center: float = 0.05
+    stenosis_length: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.length <= 0 or self.radius <= 0:
+            raise ValueError("length and radius must be positive")
+        if not 0.0 <= self.stenosis_severity <= 0.9:
+            raise ValueError("stenosis_severity must be in [0, 0.9]")
+        if self.stenosis_length <= 0:
+            raise ValueError("stenosis_length must be positive")
+
+    def lumen_halfwidth(self, x: np.ndarray) -> np.ndarray:
+        """Local half-width of the vessel at axial positions ``x``."""
+        x = np.asarray(x, dtype=float)
+        h = np.full_like(x, self.radius)
+        if self.stenosis_severity > 0:
+            s = (x - self.stenosis_center) / (self.stenosis_length / 2.0)
+            bump = np.where(
+                np.abs(s) <= 1.0,
+                0.5 * (1.0 + np.cos(np.pi * s)),
+                0.0,
+            )
+            h = h * (1.0 - self.stenosis_severity * bump)
+        return h
+
+    def throat_halfwidth(self) -> float:
+        """Smallest lumen half-width."""
+        return self.radius * (1.0 - self.stenosis_severity)
+
+    def inflow_profile(self, y: np.ndarray, u_max: float) -> np.ndarray:
+        """Parabolic (Poiseuille) inflow profile over ``y`` in [0, 2*radius].
+
+        Zero at both walls, ``u_max`` on the centreline.
+        """
+        y = np.asarray(y, dtype=float)
+        r = self.radius
+        return np.clip(u_max * (1.0 - ((y - r) / r) ** 2), 0.0, None)

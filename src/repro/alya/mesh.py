@@ -1,0 +1,79 @@
+"""Structured mesh over the artery geometry."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.alya.geometry import ArteryGeometry
+
+
+@dataclass(frozen=True)
+class StructuredMesh:
+    """A uniform Cartesian grid covering the vessel's bounding box.
+
+    Cells outside the lumen (inside a stenosis bump) are masked solid.
+
+    Attributes
+    ----------
+    geometry:
+        The vessel shape.
+    nx / ny:
+        Interior cells in the axial / transverse directions.
+    """
+
+    geometry: ArteryGeometry
+    nx: int
+    ny: int
+
+    def __post_init__(self) -> None:
+        if self.nx < 4 or self.ny < 4:
+            raise ValueError("mesh needs at least 4x4 cells")
+
+    @property
+    def dx(self) -> float:
+        return self.geometry.length / self.nx
+
+    @property
+    def dy(self) -> float:
+        return 2.0 * self.geometry.radius / self.ny
+
+    @cached_property
+    def x_centers(self) -> np.ndarray:
+        """Axial coordinates of cell centres, shape (nx,)."""
+        return (np.arange(self.nx) + 0.5) * self.dx
+
+    @cached_property
+    def y_centers(self) -> np.ndarray:
+        """Transverse coordinates of cell centres, shape (ny,)."""
+        return (np.arange(self.ny) + 0.5) * self.dy
+
+    @cached_property
+    def fluid_mask(self) -> np.ndarray:
+        """Boolean (ny, nx): True where the cell is inside the lumen."""
+        half = self.geometry.lumen_halfwidth(self.x_centers)  # (nx,)
+        centre = self.geometry.radius
+        yy = self.y_centers[:, None]  # (ny, 1)
+        return np.abs(yy - centre) <= half[None, :]
+
+    @property
+    def n_cells(self) -> int:
+        """Total grid cells (solid + fluid)."""
+        return self.nx * self.ny
+
+    @cached_property
+    def n_fluid_cells(self) -> int:
+        """Cells participating in the flow solve."""
+        return int(self.fluid_mask.sum())
+
+    def interface_cells_per_column(self) -> int:
+        """Fluid cells in one axial column (halo size of a slab cut)."""
+        return int(self.fluid_mask[:, self.nx // 2].sum())
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<StructuredMesh {self.nx}x{self.ny} "
+            f"({self.n_fluid_cells} fluid cells)>"
+        )

@@ -1,0 +1,100 @@
+"""Elastic arterial wall: the solid half of the FSI case.
+
+An independent-ring model, the standard reduced model for arterial walls:
+each axial station is a damped spring–mass ring driven by the local
+transmural pressure,
+
+    m η̈ + c η̇ + k η = p(x) − p_ext ,
+
+with η the radial wall displacement.  Integrated semi-implicitly
+(symplectic Euler), which is unconditionally stable for the damped
+oscillator at the coupling time steps the fluid dictates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class ElasticWall:
+    """A deformable wall discretised at ``n_stations`` axial positions.
+
+    Attributes
+    ----------
+    n_stations:
+        Axial sample count (matches the fluid mesh's ``nx``).
+    mass:
+        Effective ring mass per unit area (kg/m²) — ρ_wall · thickness.
+    stiffness:
+        Ring stiffness per unit area (Pa/m) — E·h/R² for a thin vessel.
+    damping:
+        Viscous damping coefficient (Pa·s/m).
+    external_pressure:
+        Reference pressure outside the vessel (Pa).
+    """
+
+    n_stations: int
+    mass: float = 0.6  # rho_wall (1100 kg/m3) x thickness (~0.55 mm)
+    stiffness: float = 1.0e7  # E.h/R^2 with E ~ 0.5 MPa, h ~ 0.5 mm, R = 5 mm
+    damping: float = 5.0e3
+    external_pressure: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_stations < 1:
+            raise ValueError("n_stations must be >= 1")
+        if self.mass <= 0 or self.stiffness <= 0:
+            raise ValueError("mass and stiffness must be positive")
+        if self.damping < 0:
+            raise ValueError("damping must be >= 0")
+        self.displacement = np.zeros(self.n_stations)
+        self.velocity = np.zeros(self.n_stations)
+        self.steps = 0
+        self.flops = 0.0
+
+    def natural_frequency(self) -> float:
+        """Undamped angular frequency sqrt(k/m) (rad/s)."""
+        return float(np.sqrt(self.stiffness / self.mass))
+
+    def step(self, pressure: np.ndarray, dt: float) -> np.ndarray:
+        """Advance the wall under fluid ``pressure``; returns η̇ (m/s).
+
+        Implicit (backward-Euler-type) update, unconditionally stable for
+        the damped oscillator at any dt: solving
+
+            v⁺ = v + dt (load − k η⁺ − c v⁺)/m,   η⁺ = η + dt v⁺
+
+        for v⁺ gives the closed form below.
+        """
+        pressure = np.asarray(pressure, dtype=float)
+        if pressure.shape != (self.n_stations,):
+            raise ValueError(
+                f"pressure must have shape ({self.n_stations},), got "
+                f"{pressure.shape}"
+            )
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        load = pressure - self.external_pressure
+        m, k, c = self.mass, self.stiffness, self.damping
+        denom = 1.0 + dt * c / m + dt * dt * k / m
+        self.velocity = (
+            self.velocity + dt * (load - k * self.displacement) / m
+        ) / denom
+        self.displacement += dt * self.velocity
+        self.steps += 1
+        self.flops += 12.0 * self.n_stations
+        return self.velocity.copy()
+
+    def equilibrium_displacement(self, pressure: np.ndarray) -> np.ndarray:
+        """Static solution η = (p − p_ext)/k (the check tests verify)."""
+        return (np.asarray(pressure, dtype=float) - self.external_pressure) / (
+            self.stiffness
+        )
+
+    def energy(self) -> float:
+        """Total mechanical energy per unit area (J/m²)."""
+        kinetic = 0.5 * self.mass * float(np.sum(self.velocity**2))
+        elastic = 0.5 * self.stiffness * float(np.sum(self.displacement**2))
+        return kinetic + elastic

@@ -1,0 +1,193 @@
+"""Command-line entry point: regenerate any of the paper's artefacts.
+
+Examples
+--------
+::
+
+    repro-study fig1                 # Lenox container-solutions figure
+    repro-study fig2                 # CTE-POWER portability figure
+    repro-study fig3 --sim-steps 1   # MareNostrum4 FSI speedups, faster
+    repro-study eval1                # deployment / image-size table
+    repro-study eval2                # three-architecture comparison
+    repro-study all                  # everything, with shape checks
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Optional, Sequence
+
+from repro.core.figures import (
+    ascii_table,
+    deployment_table,
+    fig1_table,
+    fig2_table,
+    fig3_table,
+)
+from repro.core.report import (
+    check_deployment,
+    check_fig1,
+    check_fig2,
+    check_fig3,
+    verdict_lines,
+)
+from repro.core.study import (
+    ContainerSolutionsStudy,
+    PortabilityStudy,
+    ScalabilityStudy,
+)
+from repro.hardware import catalog
+
+
+def _fig1(args) -> bool:
+    outcome = ContainerSolutionsStudy(sim_steps=args.sim_steps).run()
+    print("Fig. 1 — artery CFD on Lenox, average elapsed time [s]\n")
+    print(fig1_table(outcome))
+    verdicts = check_fig1(outcome)
+    print("\n" + verdict_lines(verdicts))
+    return all(verdicts.values())
+
+
+def _eval1(args) -> bool:
+    study = ContainerSolutionsStudy(
+        configs=((28, 4),), sim_steps=args.sim_steps
+    )
+    rows = study.run().deployment_rows()
+    print("§B.1 — deployment overhead, image size, execution time\n")
+    print(deployment_table(rows))
+    verdicts = check_deployment(rows)
+    print("\n" + verdict_lines(verdicts))
+    return all(verdicts.values())
+
+
+def _fig2(args) -> bool:
+    fig2 = PortabilityStudy(sim_steps=args.sim_steps).run_fig2()
+    print("Fig. 2 — artery CFD on CTE-POWER, elapsed time [s]\n")
+    print(fig2_table(fig2))
+    verdicts = check_fig2(fig2)
+    print("\n" + verdict_lines(verdicts))
+    return all(verdicts.values())
+
+
+def _eval2(args) -> bool:
+    results, errors = PortabilityStudy(sim_steps=args.sim_steps).run_three_archs()
+    print("§B.2 — one case, three architectures (Singularity)\n")
+    rows = [
+        [
+            name,
+            catalog.get_cluster(name).node.arch.value,
+            v["system-specific"].elapsed_seconds,
+            v["self-contained"].elapsed_seconds,
+        ]
+        for name, v in results.items()
+    ]
+    print(
+        ascii_table(
+            ["machine", "ISA", "system-specific [s]", "self-contained [s]"],
+            rows,
+        )
+    )
+    print("\nForeign-image rejections (why images are rebuilt per ISA):")
+    for machine, error in errors.items():
+        print(f"  {machine}: {error}")
+    return len(errors) == 2
+
+
+def _fig3(args) -> bool:
+    outcome = ScalabilityStudy(sim_steps=args.sim_steps).run()
+    print("Fig. 3 — artery FSI on MareNostrum4, speedup vs 4 nodes\n")
+    print(fig3_table(outcome))
+    verdicts = check_fig3(outcome)
+    print("\n" + verdict_lines(verdicts))
+    return all(verdicts.values())
+
+
+def _microbench(args) -> bool:
+    from repro.hardware.network import NetworkPath
+    from repro.mpi.microbench import DEFAULT_SIZES, ping_pong
+
+    spec = catalog.MARENOSTRUM4
+    print(f"Ping-pong one-way latency on {spec.name} [us]\n")
+    tables = {
+        path: ping_pong(spec, path, sizes=DEFAULT_SIZES)
+        for path in NetworkPath
+    }
+    rows = []
+    for i, size in enumerate(DEFAULT_SIZES):
+        rows.append(
+            [f"{int(size)} B"]
+            + [tables[p][i].latency_seconds * 1e6 for p in NetworkPath]
+        )
+    print(ascii_table(["message"] + [p.value for p in NetworkPath], rows))
+    # The ordering that generates every figure in the paper:
+    ok = all(
+        tables[NetworkPath.HOST_NATIVE][i].latency_seconds
+        < tables[NetworkPath.TCP_FALLBACK][i].latency_seconds
+        < tables[NetworkPath.BRIDGE_NAT][i].latency_seconds
+        for i in range(len(DEFAULT_SIZES))
+    )
+    print(f"\npath ordering native < fallback < bridge: "
+          f"{'PASS' if ok else 'FAIL'}")
+    return ok
+
+
+def _claims(args) -> bool:
+    from repro.core.paper_reference import claims_table
+
+    print("Paper claims targeted by this reproduction\n")
+    print(claims_table())
+    print("\nRun `repro-study all` (or the named benchmark) for evidence.")
+    return True
+
+
+_COMMANDS: dict[str, Callable] = {
+    "fig1": _fig1,
+    "fig2": _fig2,
+    "fig3": _fig3,
+    "eval1": _eval1,
+    "eval2": _eval2,
+    "claims": _claims,
+    "microbench": _microbench,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-study",
+        description=(
+            "Regenerate the evaluation artefacts of 'Containers in HPC' "
+            "(Rudyy et al., 2019) on the simulator."
+        ),
+    )
+    parser.add_argument(
+        "artefact",
+        choices=[*_COMMANDS, "all"],
+        help="which paper artefact to regenerate",
+    )
+    parser.add_argument(
+        "--sim-steps",
+        type=int,
+        default=2,
+        metavar="N",
+        help="time steps the simulator executes per run (default 2)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.sim_steps < 1:
+        print("error: --sim-steps must be >= 1", file=sys.stderr)
+        return 2
+    names = list(_COMMANDS) if args.artefact == "all" else [args.artefact]
+    ok = True
+    for i, name in enumerate(names):
+        if i:
+            print("\n" + "=" * 72 + "\n")
+        ok &= _COMMANDS[name](args)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

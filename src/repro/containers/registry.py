@@ -1,0 +1,146 @@
+"""Image distribution: the registry and Shifter's image gateway.
+
+The registry's egress is a fair-share link: when *n* nodes pull the same
+image simultaneously (a ``docker pull`` fan-out at job start), each gets
+``1/n`` of the egress — the mechanism behind Docker's poor deployment
+scaling versus Singularity's single file on the parallel filesystem.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.containers.image import (
+    FlatImage,
+    OCIImage,
+    SIFImage,
+)
+from repro.containers.builder import MKSQUASHFS_THROUGHPUT
+from repro.des.engine import Environment
+from repro.des.links import FairShareLink
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.des.events import Event
+
+
+class RegistryError(RuntimeError):
+    """Missing image or invalid registry operation."""
+
+
+class Registry:
+    """A container registry reachable from the cluster.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    egress_bandwidth:
+        Aggregate bytes/s the registry can serve (shared by all pulls).
+    latency:
+        Per-request latency (TLS + manifest round-trips folded in).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        egress_bandwidth: float = 1.0e9,
+        latency: float = 0.25,
+    ) -> None:
+        self.env = env
+        self.link = FairShareLink(
+            env, bandwidth=egress_bandwidth, latency=latency, name="registry"
+        )
+        self._images: dict[str, OCIImage | SIFImage] = {}
+
+    def push(self, image: OCIImage | SIFImage) -> None:
+        """Make ``image`` available under its name."""
+        self._images[image.name] = image
+
+    def get(self, name: str) -> OCIImage | SIFImage:
+        try:
+            return self._images[name]
+        except KeyError:
+            raise RegistryError(f"no image {name!r} in registry") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._images
+
+    def pull(self, name: str) -> "Event":
+        """Transfer the image's compressed bytes; fires when complete."""
+        image = self.get(name)
+        return self.link.transfer(image.transfer_size)
+
+
+class ShifterGateway:
+    """Shifter's image gateway: converts OCI images to flat images, once.
+
+    The conversion (pull + flatten + squash) happens on a gateway node and
+    is cached by source digest; subsequent jobs only loop-mount the cached
+    product.  This is why Shifter's *per-job* deployment overhead is small
+    even though its input is a Docker image.
+    """
+
+    def __init__(self, env: Environment, registry: Registry) -> None:
+        self.env = env
+        self.registry = registry
+        self._cache: dict[str, FlatImage] = {}
+        self.conversions = 0
+
+    def is_cached(self, image: OCIImage) -> bool:
+        return image.digest in self._cache
+
+    def cached(self, image: OCIImage) -> FlatImage:
+        try:
+            return self._cache[image.digest]
+        except KeyError:
+            raise RegistryError(
+                f"image {image.name!r} has not been converted yet"
+            ) from None
+
+    def convert(self, image: OCIImage):
+        """DES generator: pull (if needed) and flatten ``image``.
+
+        Returns the cached :class:`FlatImage`.  Run it with
+        ``env.process(gateway.convert(img))``.
+        """
+        if image.digest in self._cache:
+            return self._noop(image)
+        return self._convert(image)
+
+    def _noop(self, image: OCIImage):
+        if False:  # pragma: no cover - generator shape
+            yield None
+        return self._cache[image.digest]
+
+    def _convert(self, image: OCIImage):
+        yield self.registry.pull(image.name)
+        # Flatten: apply layers in order into one tree (upper layers win),
+        # then mksquashfs the merged tree.
+        merged = None
+        merged_bytes = 0.0
+        trees = image.layer_trees()  # top-most first
+        seen: set[str] = set()
+        merged = trees[0].copy_tree("flat")
+        for path, f in trees[0].walk_files("/"):
+            seen.add(path)
+            merged_bytes += f.size
+        for tree in trees[1:]:
+            for path, f in tree.walk_files("/"):
+                if path not in seen:
+                    seen.add(path)
+                    merged.write_file(path, f.size, parents=True)
+                    merged_bytes += f.size
+        yield self.env.timeout(merged_bytes / MKSQUASHFS_THROUGHPUT)
+        flat = FlatImage(
+            name=image.name,
+            arch=image.arch,
+            technique=image.technique,
+            env=dict(image.env),
+            entrypoint=image.entrypoint,
+            tree=merged,
+            content_bytes=merged_bytes,
+            source_digest=image.digest,
+        )
+        self._cache[image.digest] = flat
+        self.conversions += 1
+        return flat

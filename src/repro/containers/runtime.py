@@ -1,0 +1,147 @@
+"""Runtime base classes and deployment accounting.
+
+A runtime's ``deploy`` is a DES generator that performs the real sequence
+of steps (pull, extract, unshare, mount, bind) against a node's
+:class:`~repro.oskernel.nodeos.NodeOS`, charging simulated time for each.
+It returns one :class:`DeployedContainer` per node plus a
+:class:`DeploymentReport` whose step breakdown feeds the §B.1 table.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.containers.compat import (
+    check_admin_for_daemon,
+    check_architecture,
+    check_runtime_installed,
+    network_path_for,
+)
+from repro.containers.image import AnyImage
+from repro.hardware.network import NetworkPath
+from repro.oskernel.cgroups import Cgroup
+from repro.oskernel.mounts import MountTable
+from repro.oskernel.namespaces import NamespaceSet
+from repro.oskernel.nodeos import NodeOS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.containers.registry import Registry, ShifterGateway
+    from repro.des.engine import Environment
+    from repro.hardware.cluster import Cluster
+
+
+@dataclass
+class DeployedContainer:
+    """A container instance ready to run ranks on one node."""
+
+    runtime_name: str
+    node_id: int
+    image: Optional[AnyImage]
+    network_path: NetworkPath
+    namespaces: NamespaceSet
+    mount_table: MountTable
+    cgroup: Optional[Cgroup] = None
+    #: Multiplier on compute time (1.0 = no CPU overhead).
+    cpu_overhead: float = 1.0
+    #: Seconds to exec one MPI rank inside the container.
+    launch_overhead_per_rank: float = 0.0
+    #: Where the container's mounts live (for teardown); "/" means the
+    #: host table (bare-metal) and is never swept.
+    root_path: str = "/"
+
+
+@dataclass
+class DeploymentReport:
+    """Wall-clock accounting of a deployment across nodes."""
+
+    runtime_name: str
+    image_name: str
+    node_count: int
+    total_seconds: float
+    #: step name -> wall seconds attributable to the step (critical path).
+    steps: dict[str, float] = field(default_factory=dict)
+
+    def step(self, name: str) -> float:
+        """Seconds spent in ``name`` (0.0 when the step did not occur)."""
+        return self.steps.get(name, 0.0)
+
+
+class ContainerRuntime(abc.ABC):
+    """Common protocol of the four execution modes."""
+
+    #: Runtime identifier matching the cluster's ``installed_runtimes``.
+    name: str = "abstract"
+    #: CPU-time multiplier containers of this runtime pay.
+    cpu_overhead: float = 1.0
+    #: Seconds to exec one rank.
+    launch_overhead_per_rank: float = 0.0
+
+    def __init__(self, version: Optional[str] = None) -> None:
+        self.version = version
+
+    # -- checks ------------------------------------------------------------
+    def check(self, cluster_spec, image: Optional[AnyImage]) -> None:
+        """Validate that this runtime can run ``image`` on the cluster."""
+        check_runtime_installed(self.name, cluster_spec)
+        check_admin_for_daemon(self.name, cluster_spec)
+        if image is not None:
+            check_architecture(image, cluster_spec)
+
+    def network_path(self, image: Optional[AnyImage], fabric) -> NetworkPath:
+        """The path this runtime's MPI traffic takes."""
+        technique = image.technique if image is not None else None
+        return network_path_for(self.name, technique, fabric)
+
+    # -- deployment ----------------------------------------------------------
+    @abc.abstractmethod
+    def deploy(
+        self,
+        env: "Environment",
+        cluster: "Cluster",
+        node_os: Sequence[NodeOS],
+        image: Optional[AnyImage],
+        registry: Optional["Registry"] = None,
+        gateway: Optional["ShifterGateway"] = None,
+    ):
+        """DES generator deploying ``image`` on every node in ``node_os``.
+
+        Returns ``(list[DeployedContainer], DeploymentReport)``.
+        """
+
+    #: Fixed teardown cost in seconds (daemon API, netns destruction...).
+    teardown_cost: float = 0.02
+
+    def undeploy(self, env: "Environment", container: DeployedContainer,
+                 node_os: NodeOS):
+        """DES generator: dismantle one node's container.
+
+        Unmounts everything the deployment mounted (newest first), moves
+        any remaining pids out of the container cgroup and removes it,
+        and charges the runtime's fixed teardown cost.  Returns the wall
+        seconds spent.
+        """
+        t0 = env.now
+        if container.image is not None and container.root_path != "/":
+            table = container.mount_table
+            for mount in reversed(table.mounts_at(container.root_path)):
+                table.unmount(mount.target)
+        if container.cgroup is not None:
+            for pid in list(container.cgroup.pids):
+                node_os.cgroups.attach(pid, node_os.cgroups.root)
+            node_os.cgroups.remove(container.cgroup.path())
+            container.cgroup = None
+        if self.teardown_cost > 0:
+            yield env.timeout(self.teardown_cost)
+        return env.now - t0
+
+    # -- helpers shared by subclasses ---------------------------------------------
+    @staticmethod
+    def _merge_step(steps: dict[str, float], name: str, seconds: float) -> None:
+        """Record a step's wall time (keep the max across nodes)."""
+        steps[name] = max(steps.get(name, 0.0), seconds)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        v = f" {self.version}" if self.version else ""
+        return f"<{type(self).__name__}{v}>"

@@ -1,0 +1,141 @@
+"""Singularity runtime model.
+
+Deployment of a SIF image on a node (Singularity 2.x, as in the paper):
+
+1. the single image file already lives on the parallel filesystem — only
+   its header is read at start (no pull, no extraction);
+2. the SUID starter escalates, unshares **Mount + PID only**, loop-mounts
+   the squashfs partition read-only, performs the configured bind mounts
+   (``$HOME``, scratch — plus host MPI/fabric directories for a
+   system-specific image), then drops privileges and execs the payload.
+
+Because the NET namespace is shared with the host, the container sees the
+fabric HCAs; whether it can *drive* them is a pure userspace question
+decided by the image's build technique (:mod:`repro.containers.compat`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.containers.image import SIFImage
+from repro.containers.runtime import (
+    ContainerRuntime,
+    DeployedContainer,
+    DeploymentReport,
+)
+from repro.containers.recipes import BuildTechnique
+from repro.oskernel.namespaces import HPC_KINDS, NamespaceSet
+from repro.oskernel.nodeos import HOST_FABRIC_DIR, HOST_MPI_DIR, NodeOS
+from repro.oskernel.processes import Credentials
+
+#: Fixed costs (seconds), from published Singularity 2.x startup traces.
+HEADER_READ_BYTES = 1.0e6
+STARTER_EXEC = 0.020
+LOOP_MOUNT = 0.015
+BIND_MOUNT = 0.002
+CONTAINER_ROOT = "/var/singularity/mnt"
+
+
+class SingularityRuntime(ContainerRuntime):
+    """Singularity with the SUID starter workflow."""
+
+    name = "singularity"
+    cpu_overhead = 1.0  # §C: "close to bare-metal performances"
+    launch_overhead_per_rank = 0.08  # starter + loop setup per exec
+
+    def deploy(
+        self,
+        env,
+        cluster,
+        node_os: Sequence[NodeOS],
+        image: Optional[SIFImage] = None,
+        registry=None,
+        gateway=None,
+    ):
+        if not isinstance(image, SIFImage):
+            raise TypeError("Singularity deploys SIF images")
+        self.check(cluster.spec, image)
+        t0 = env.now
+        steps: dict[str, float] = {}
+        containers: list[Optional[DeployedContainer]] = [None] * len(node_os)
+
+        def per_node(i: int, os_: NodeOS):
+            node = cluster.node(os_.node_id)
+            # 1. Read the SIF header off the parallel filesystem.
+            t = env.now
+            yield cluster.shared_fs.transfer(HEADER_READ_BYTES)
+            self._merge_step(steps, "header_read", env.now - t)
+
+            # 2. SUID starter: user creds escalate, unshare Mount+PID.
+            t = env.now
+            user = os_.processes.fork(
+                os_.processes.init_pid,
+                argv=("sbatch-shell",),
+                creds=Credentials.user(1000),
+            )
+            starter_creds = user.creds.escalate_suid()
+            starter = os_.processes.fork(
+                user.global_pid, argv=("starter-suid",), creds=starter_creds
+            )
+            container_proc = os_.processes.fork(
+                starter.global_pid,
+                argv=(image.entrypoint,),
+                unshare=HPC_KINDS,
+                creds=starter_creds,
+            )
+            yield env.timeout(STARTER_EXEC + NamespaceSet.setup_cost(HPC_KINDS))
+            self._merge_step(steps, "namespaces", env.now - t)
+
+            # 3. Loop-mount the squashfs partition (read-only).
+            t = env.now
+            table = container_proc.mount_table
+            table.mount_squashfs(image.tree, CONTAINER_ROOT)
+            yield env.timeout(LOOP_MOUNT)
+            yield node.disk.transfer(HEADER_READ_BYTES)  # superblock read
+            self._merge_step(steps, "loop_mount", env.now - t)
+
+            # 4. Bind mounts: $HOME, scratch, and the host MPI stack for
+            #    system-specific images.
+            t = env.now
+            binds = [("/home/user", f"{CONTAINER_ROOT}/home/user"),
+                     ("/gpfs/scratch", f"{CONTAINER_ROOT}/scratch")]
+            if image.technique is BuildTechnique.SYSTEM_SPECIFIC:
+                binds.append((HOST_MPI_DIR, f"{CONTAINER_ROOT}/host/mpi"))
+                if os_.has_fabric_userspace:
+                    binds.append(
+                        (HOST_FABRIC_DIR, f"{CONTAINER_ROOT}/host/fabric")
+                    )
+            for src, dst in binds:
+                table.bind(os_.rootfs, src, dst)
+                yield env.timeout(BIND_MOUNT)
+            self._merge_step(steps, "bind_mounts", env.now - t)
+
+            # 5. Drop privileges; the payload runs as the invoking user.
+            container_proc.creds = starter_creds.drop_privileges()
+
+            containers[i] = DeployedContainer(
+                runtime_name=self.name,
+                node_id=os_.node_id,
+                image=image,
+                network_path=self.network_path(image, cluster.spec.fabric),
+                namespaces=container_proc.namespaces,
+                mount_table=table,
+                root_path=CONTAINER_ROOT,
+                cpu_overhead=self.cpu_overhead,
+                launch_overhead_per_rank=self.launch_overhead_per_rank,
+            )
+
+        procs = [
+            env.process(per_node(i, os_), name=f"singularity-deploy-{i}")
+            for i, os_ in enumerate(node_os)
+        ]
+        yield env.all_of(procs)
+        report = DeploymentReport(
+            runtime_name=self.name,
+            image_name=image.name,
+            node_count=len(node_os),
+            total_seconds=env.now - t0,
+            steps=steps,
+        )
+        return list(containers), report

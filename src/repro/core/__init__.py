@@ -1,0 +1,34 @@
+"""The study framework: the paper's contribution layer.
+
+Composes the substrates into reproducible experiments:
+
+- :mod:`repro.core.calibration` — per-cluster execution parameters and
+  the canonical work models of the paper's cases;
+- :mod:`repro.core.experiment` — one experiment's full specification;
+- :mod:`repro.core.deployment` — image building, registries, runtimes;
+- :mod:`repro.core.runner` — runs a spec end to end on the simulator;
+- :mod:`repro.core.metrics` — results, speedups, efficiencies;
+- :mod:`repro.core.study` — the paper's three evaluations;
+- :mod:`repro.core.figures` / :mod:`repro.core.report` — the tables and
+  series each figure shows.
+"""
+
+from repro.core.experiment import EndpointGranularity, ExperimentSpec
+from repro.core.metrics import ExperimentResult, speedup_series
+from repro.core.runner import ExperimentRunner
+from repro.core.study import (
+    ContainerSolutionsStudy,
+    PortabilityStudy,
+    ScalabilityStudy,
+)
+
+__all__ = [
+    "ContainerSolutionsStudy",
+    "EndpointGranularity",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "ExperimentSpec",
+    "PortabilityStudy",
+    "ScalabilityStudy",
+    "speedup_series",
+]

@@ -1,0 +1,67 @@
+"""Deployment plumbing: runtimes, images, registries for one experiment."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.containers.baremetal import BareMetalRuntime
+from repro.containers.builder import ImageBuilder
+from repro.containers.charliecloud import CharliecloudRuntime
+from repro.containers.docker import DockerRuntime
+from repro.containers.image import AnyImage
+from repro.containers.recipes import alya_recipe
+from repro.containers.registry import Registry, ShifterGateway
+from repro.containers.runtime import ContainerRuntime
+from repro.containers.shifter import ShifterRuntime
+from repro.containers.singularity import SingularityRuntime
+from repro.core.experiment import ExperimentSpec
+from repro.des.engine import Environment
+
+_RUNTIME_CLASSES = {
+    "bare-metal": BareMetalRuntime,
+    "charliecloud": CharliecloudRuntime,
+    "docker": DockerRuntime,
+    "singularity": SingularityRuntime,
+    "shifter": ShifterRuntime,
+}
+
+
+def make_runtime(spec: ExperimentSpec) -> ContainerRuntime:
+    """Instantiate the runtime named by the spec (with its site version)."""
+    name = spec.runtime_name.lower()
+    try:
+        cls = _RUNTIME_CLASSES[name]
+    except KeyError:
+        raise ValueError(f"unknown runtime {spec.runtime_name!r}") from None
+    version = spec.cluster.installed_runtimes.get(name)
+    if name == "docker":
+        return cls(version, host_network=spec.docker_host_network)
+    return cls(version)
+
+
+def build_image(spec: ExperimentSpec) -> Optional[AnyImage]:
+    """Build the image this experiment runs (None for bare-metal).
+
+    Docker and Shifter consume OCI images; Singularity a SIF.  The image
+    is always built for the cluster's ISA — the §B.2 rebuild-per-machine
+    workflow (an x86 image simply cannot execute elsewhere; see
+    :mod:`repro.containers.compat`).
+    """
+    if spec.is_bare_metal:
+        return None
+    recipe = alya_recipe(spec.technique, arch=spec.cluster.node.arch)
+    builder = ImageBuilder()
+    if spec.runtime_name.lower() in ("docker", "shifter"):
+        return builder.build_oci(recipe).image
+    return builder.build_sif(recipe).image
+
+
+def make_distribution(
+    env: Environment, image: Optional[AnyImage]
+) -> tuple[Registry, ShifterGateway]:
+    """A registry (+Shifter gateway) with the experiment's image pushed."""
+    registry = Registry(env)
+    gateway = ShifterGateway(env, registry)
+    if image is not None:
+        registry.push(image)
+    return registry, gateway

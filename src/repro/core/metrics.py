@@ -1,0 +1,90 @@
+"""Experiment results and derived metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.containers.runtime import DeploymentReport
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """What one run measured.
+
+    Attributes
+    ----------
+    spec_name / runtime_name / cluster_name:
+        Identification.
+    n_nodes / total_ranks / threads_per_rank:
+        Geometry.
+    avg_step_seconds:
+        Mean simulated time per Alya step.
+    elapsed_seconds:
+        ``avg_step_seconds x nominal_timesteps`` — comparable to the
+        paper's "average elapsed time".
+    deployment:
+        The runtime's deployment report (None for bare-metal, which has
+        an all-zero report).
+    image_size_bytes / image_transfer_bytes:
+        §B.1 image metrics (0 for bare-metal).
+    messages / bytes_sent / internode_messages:
+        Communication totals over the simulated steps.
+    """
+
+    spec_name: str
+    runtime_name: str
+    cluster_name: str
+    n_nodes: int
+    total_ranks: int
+    threads_per_rank: int
+    avg_step_seconds: float
+    elapsed_seconds: float
+    deployment: Optional[DeploymentReport] = None
+    image_size_bytes: float = 0.0
+    image_transfer_bytes: float = 0.0
+    messages: int = 0
+    bytes_sent: float = 0.0
+    internode_messages: int = 0
+    #: Mean share of endpoint wall time per phase
+    #: (compute/halo/collective/coupling); empty when not instrumented.
+    phase_fractions: dict[str, float] = field(default_factory=dict, compare=False)
+
+    @property
+    def deployment_seconds(self) -> float:
+        """Deployment overhead (0 for bare-metal)."""
+        return self.deployment.total_seconds if self.deployment else 0.0
+
+    def overhead_vs(self, baseline: "ExperimentResult") -> float:
+        """Fractional slowdown against ``baseline`` (0.0 = equal)."""
+        if baseline.avg_step_seconds <= 0:
+            raise ValueError("baseline has no step time")
+        return self.avg_step_seconds / baseline.avg_step_seconds - 1.0
+
+
+def speedup_series(
+    results: Sequence[ExperimentResult],
+    base_nodes: Optional[int] = None,
+) -> dict[int, float]:
+    """Fig. 3-style speedups: ``t(base) / t(n)`` keyed by node count.
+
+    ``base_nodes`` defaults to the smallest node count present; the ideal
+    curve is then ``n / base_nodes``.
+    """
+    if not results:
+        raise ValueError("no results")
+    by_nodes = {r.n_nodes: r for r in results}
+    if len(by_nodes) != len(results):
+        raise ValueError("duplicate node counts in series")
+    base = base_nodes if base_nodes is not None else min(by_nodes)
+    if base not in by_nodes:
+        raise ValueError(f"no result at base node count {base}")
+    t_base = by_nodes[base].elapsed_seconds
+    return {
+        n: t_base / r.elapsed_seconds for n, r in sorted(by_nodes.items())
+    }
+
+
+def parallel_efficiency(speedups: dict[int, float], base_nodes: int) -> dict[int, float]:
+    """Efficiency = speedup / ideal for each point of a speedup series."""
+    return {n: s / (n / base_nodes) for n, s in speedups.items()}

@@ -1,0 +1,111 @@
+"""Shape checks: does the reproduction show what the paper reports?
+
+Each ``check_*`` function takes a study outcome and returns a dict of
+named boolean verdicts; EXPERIMENTS.md records these as
+paper-claim-vs-measured.  Benchmarks assert on them, so a calibration
+regression that flips a figure's shape fails the suite.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+
+def check_fig1(outcome) -> dict[str, bool]:
+    """Paper: HPC runtimes track bare-metal; Docker degrades with ranks."""
+    verdicts = {}
+    for rt in ("singularity", "shifter"):
+        gaps = [
+            outcome.time_of(rt, c) / outcome.time_of("bare-metal", c) - 1.0
+            for c in outcome.configs
+        ]
+        verdicts[f"{rt}_tracks_bare_metal"] = max(gaps) < 0.10
+    docker_gaps = [
+        outcome.time_of("docker", c) / outcome.time_of("bare-metal", c) - 1.0
+        for c in outcome.configs
+    ]
+    verdicts["docker_gap_grows_with_ranks"] = all(
+        b >= a - 1e-9 for a, b in zip(docker_gaps, docker_gaps[1:])
+    )
+    verdicts["docker_worst_at_112x1"] = docker_gaps[-1] > 0.5
+    # "degrades soon as we scale in MPI": the gap at 112x1 dwarfs the one
+    # at 8x14, and the 8x14 gap stays under 50%.
+    verdicts["docker_gap_at_112x1_dwarfs_8x14"] = (
+        docker_gaps[-1] > 2.0 * docker_gaps[0]
+    )
+    verdicts["docker_close_at_8x14"] = docker_gaps[0] < 0.5
+    return verdicts
+
+
+def check_fig2(fig2: Mapping[str, Mapping[int, object]]) -> dict[str, bool]:
+    """Paper: system-specific == bare-metal; self-contained much slower
+    (cannot drive the EDR fabric)."""
+    bare = fig2["bare-metal"]
+    ss = fig2["singularity system-specific"]
+    sc = fig2["singularity self-contained"]
+    nodes = sorted(bare)
+    ss_gaps = [
+        ss[n].elapsed_seconds / bare[n].elapsed_seconds - 1.0 for n in nodes
+    ]
+    sc_ratio = [
+        sc[n].elapsed_seconds / bare[n].elapsed_seconds for n in nodes
+    ]
+    return {
+        "system_specific_equals_bare_metal": max(ss_gaps) < 0.05,
+        "self_contained_slower_everywhere": min(sc_ratio) > 1.10,
+        "self_contained_much_slower_at_scale": sc_ratio[-1] > 1.5,
+        "self_contained_gap_grows_with_nodes": sc_ratio[-1] > sc_ratio[0],
+        "all_variants_scale_down_with_nodes": all(
+            series[nodes[-1]].elapsed_seconds < series[nodes[0]].elapsed_seconds
+            for series in (bare, ss)
+        ),
+    }
+
+
+def check_fig3(outcome) -> dict[str, bool]:
+    """Paper: bare-metal and system-specific keep scaling to 256 nodes;
+    self-contained stops scaling at ~32 nodes."""
+    speedups = outcome.speedups()
+    bare = speedups["bare-metal"]
+    ss = speedups["singularity system-specific"]
+    sc = speedups["singularity self-contained"]
+    n_max = max(bare)
+    ideal_max = outcome.ideal()[n_max]
+    # Self-contained: best point past 32 nodes is barely better than at 32.
+    past_32 = [s for n, s in sc.items() if n > 32]
+    return {
+        "bare_metal_scales_past_half_ideal": bare[n_max] > 0.5 * ideal_max,
+        "system_specific_tracks_bare_metal": abs(ss[n_max] - bare[n_max])
+        / bare[n_max]
+        < 0.08,
+        "self_contained_stops_scaling_at_32": (
+            max(past_32) < 1.35 * sc[32] if past_32 else False
+        ),
+        "self_contained_far_below_ideal": sc[n_max] < 0.35 * ideal_max,
+    }
+
+
+def check_deployment(rows) -> dict[str, bool]:
+    """Paper §B.1: deployment overhead and image-size ordering."""
+    by_rt = {r["runtime"]: r for r in rows}
+    return {
+        "docker_deploys_slowest": by_rt["docker"]["deployment_seconds"]
+        > max(
+            by_rt["singularity"]["deployment_seconds"],
+            by_rt["shifter"]["deployment_seconds"],
+        ),
+        "bare_metal_deploys_free": by_rt["bare-metal"]["deployment_seconds"] == 0,
+        "singularity_image_smallest": by_rt["singularity"]["image_size_mb"]
+        < min(by_rt["docker"]["image_size_mb"], by_rt["shifter"]["image_size_mb"]),
+        "singularity_subsecond_class_deploy": by_rt["singularity"][
+            "deployment_seconds"
+        ]
+        < 5.0,
+    }
+
+
+def verdict_lines(verdicts: dict[str, bool]) -> str:
+    """Render verdicts for reports."""
+    return "\n".join(
+        f"  [{'PASS' if ok else 'FAIL'}] {name}" for name, ok in verdicts.items()
+    )

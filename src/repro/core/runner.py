@@ -1,0 +1,144 @@
+"""End-to-end experiment execution on the simulator."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.alya.app import ComputeContext, SimulatedAlya
+from repro.core import calibration
+from repro.core.deployment import build_image, make_distribution, make_runtime
+from repro.core.experiment import EndpointGranularity, ExperimentSpec
+from repro.core.metrics import ExperimentResult
+from repro.des.engine import Environment
+from repro.hardware.cluster import Cluster
+from repro.mpi.comm import SimComm
+from repro.mpi.launcher import MpiJob
+from repro.mpi.perf import MpiPerf
+from repro.mpi.topology import RankMap
+from repro.oskernel.nodeos import NodeOS
+from repro.scheduler.jobs import JobRequest
+from repro.scheduler.slurm import Partition, SlurmScheduler
+
+
+class ExperimentRunner:
+    """Runs :class:`ExperimentSpec`\\ s through the full pipeline:
+
+    build image → push → submit batch job → deploy containers → launch the
+    simulated Alya job → collect metrics.
+    """
+
+    def run(self, spec: ExperimentSpec) -> ExperimentResult:
+        env = Environment()
+        cluster = Cluster(env, spec.cluster, num_nodes=spec.n_nodes)
+        runtime = make_runtime(spec)
+        image = build_image(spec)
+        runtime.check(spec.cluster, image)
+        registry, gateway = make_distribution(env, image)
+
+        # Network wiring follows the runtime+image path.
+        path = runtime.network_path(image, spec.cluster.fabric)
+        cluster.wire_network(path, topology=spec.switch_topology)
+        perf = MpiPerf.for_fabric(spec.cluster.fabric, path)
+
+        # Batch allocation (exclusive nodes, as on the real machines).
+        scheduler = SlurmScheduler(
+            env,
+            Partition(
+                name="repro",
+                cluster=spec.cluster,
+                node_ids=tuple(range(spec.n_nodes)),
+            ),
+        )
+        job_req = JobRequest(
+            name=spec.name,
+            nodes=spec.n_nodes,
+            ntasks=spec.total_ranks,
+            cpus_per_task=spec.threads_per_rank,
+        )
+
+        node_os = [NodeOS(spec.cluster, i) for i in range(spec.n_nodes)]
+        outcome: dict = {}
+
+        granularity = spec.effective_granularity()
+        if granularity is EndpointGranularity.NODE:
+            n_endpoints = spec.n_nodes
+            endpoint_is_node = True
+        else:
+            n_endpoints = spec.total_ranks
+            endpoint_is_node = False
+        rankmap = RankMap(n_ranks=n_endpoints, n_nodes=spec.n_nodes)
+        comm = SimComm(env, cluster, rankmap, perf)
+
+        def main():
+            allocation = yield scheduler.submit(job_req)
+            containers, deploy_report = yield env.process(
+                runtime.deploy(
+                    env,
+                    cluster,
+                    node_os,
+                    image,
+                    registry=registry,
+                    gateway=gateway,
+                )
+            )
+            ctx = ComputeContext(
+                core_peak_flops=spec.cluster.node.core_flops(),
+                sustained_fraction=calibration.sustained_fraction(spec.cluster),
+                omp=calibration.openmp_model(spec.cluster),
+                threads_per_rank=spec.threads_per_rank,
+                cpu_overhead=max(
+                    (c.cpu_overhead for c in containers if c), default=1.0
+                ),
+                endpoint_is_node=endpoint_is_node,
+                ranks_per_node=spec.ranks_per_node,
+            )
+            app = SimulatedAlya(spec.workmodel, ctx, sim_steps=spec.sim_steps)
+            job = MpiJob(comm, app.rank_body, containers=containers)
+            result = yield env.process(job.run())
+            scheduler.release(allocation)
+            outcome["job"] = result
+            outcome["deploy"] = deploy_report
+            outcome["launch_overhead"] = max(
+                (c.launch_overhead_per_rank for c in containers if c),
+                default=0.0,
+            )
+
+        env.process(main())
+        env.run()
+
+        job_result = outcome["job"]
+        deploy_report = outcome["deploy"]
+        phase_fractions: dict[str, float] = {}
+        phase_results = [
+            r for r in job_result.rank_results if hasattr(r, "fractions")
+        ]
+        if phase_results:
+            keys = ("compute", "halo", "collective", "coupling")
+            totals = {k: 0.0 for k in keys}
+            for pt in phase_results:
+                for k, v in pt.fractions().items():
+                    totals[k] += v
+            phase_fractions = {
+                k: v / len(phase_results) for k, v in totals.items()
+            }
+        steps_elapsed = max(
+            job_result.elapsed_seconds - outcome["launch_overhead"], 0.0
+        )
+        avg_step = steps_elapsed / spec.sim_steps
+        return ExperimentResult(
+            spec_name=spec.name,
+            runtime_name=spec.runtime_name,
+            cluster_name=spec.cluster.name,
+            n_nodes=spec.n_nodes,
+            total_ranks=spec.total_ranks,
+            threads_per_rank=spec.threads_per_rank,
+            avg_step_seconds=avg_step,
+            elapsed_seconds=avg_step * spec.workmodel.nominal_timesteps,
+            deployment=deploy_report,
+            image_size_bytes=image.size_bytes if image else 0.0,
+            image_transfer_bytes=image.transfer_size if image else 0.0,
+            messages=job_result.messages_sent,
+            bytes_sent=job_result.bytes_sent,
+            internode_messages=job_result.internode_messages,
+            phase_fractions=phase_fractions,
+        )

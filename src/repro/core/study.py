@@ -1,0 +1,296 @@
+"""The paper's three evaluations (§B.1-§B.3), as runnable studies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.alya.workmodel import AlyaWorkModel
+from repro.containers.compat import IncompatibleArchitectureError
+from repro.containers.recipes import BuildTechnique, alya_recipe
+from repro.containers.builder import ImageBuilder
+from repro.core import calibration
+from repro.core.experiment import EndpointGranularity, ExperimentSpec
+from repro.core.metrics import ExperimentResult, speedup_series
+from repro.core.runner import ExperimentRunner
+from repro.hardware import catalog
+
+#: Fig. 1's x-axis: MPI ranks x OpenMP threads on 4 x 28 Lenox cores.
+FIG1_CONFIGS: tuple[tuple[int, int], ...] = (
+    (8, 14),
+    (16, 7),
+    (28, 4),
+    (56, 2),
+    (112, 1),
+)
+
+#: Fig. 2's x-axis: CTE-POWER node counts.
+FIG2_NODES: tuple[int, ...] = (2, 3, 4, 5, 6, 7, 8, 10, 12, 14, 16)
+
+#: Fig. 3's x-axis: MareNostrum4 node counts (up to 12,288 cores).
+FIG3_NODES: tuple[int, ...] = (4, 8, 16, 32, 64, 128, 256)
+
+
+@dataclass
+class SolutionsOutcome:
+    """§B.1: per-(runtime, config) results plus the deployment table."""
+
+    results: dict[tuple[str, tuple[int, int]], ExperimentResult]
+    runtimes: tuple[str, ...]
+    configs: tuple[tuple[int, int], ...]
+
+    def time_of(self, runtime: str, config: tuple[int, int]) -> float:
+        return self.results[(runtime, config)].elapsed_seconds
+
+    def deployment_rows(self) -> list[dict]:
+        """One row per runtime: deployment overhead, image size, exec time
+        (at the paper's 28x4 hybrid sweet spot)."""
+        probe = (28, 4)
+        rows = []
+        for rt in self.runtimes:
+            r = self.results[(rt, probe)]
+            rows.append(
+                {
+                    "runtime": rt,
+                    "deployment_seconds": r.deployment_seconds,
+                    "image_size_mb": r.image_size_bytes / 1e6,
+                    "image_transfer_mb": r.image_transfer_bytes / 1e6,
+                    "execution_seconds": r.elapsed_seconds,
+                }
+            )
+        return rows
+
+
+class ContainerSolutionsStudy:
+    """Fig. 1 + the §B.1 metrics on Lenox.
+
+    Four execution modes (bare-metal, Singularity, Shifter, Docker), five
+    rank x thread layouts of the 112-core artery CFD case.
+    """
+
+    RUNTIMES: tuple[tuple[str, Optional[BuildTechnique]], ...] = (
+        ("bare-metal", None),
+        ("singularity", BuildTechnique.SELF_CONTAINED),
+        ("shifter", BuildTechnique.SELF_CONTAINED),
+        ("docker", BuildTechnique.SELF_CONTAINED),
+    )
+
+    def __init__(
+        self,
+        workmodel: Optional[AlyaWorkModel] = None,
+        configs: tuple[tuple[int, int], ...] = FIG1_CONFIGS,
+        sim_steps: int = 2,
+    ) -> None:
+        self.workmodel = workmodel or calibration.lenox_cfd_workmodel()
+        self.configs = configs
+        self.sim_steps = sim_steps
+        self.runner = ExperimentRunner()
+
+    def run(self) -> SolutionsOutcome:
+        cluster = catalog.LENOX
+        results = {}
+        for rt, tech in self.RUNTIMES:
+            for ranks, threads in self.configs:
+                spec = ExperimentSpec(
+                    name=f"fig1-{rt}-{ranks}x{threads}",
+                    cluster=cluster,
+                    runtime_name=rt,
+                    technique=tech,
+                    workmodel=self.workmodel,
+                    n_nodes=4,
+                    ranks_per_node=ranks // 4,
+                    threads_per_rank=threads,
+                    sim_steps=self.sim_steps,
+                    granularity=EndpointGranularity.RANK,
+                )
+                results[(rt, (ranks, threads))] = self.runner.run(spec)
+        return SolutionsOutcome(
+            results=results,
+            runtimes=tuple(rt for rt, _ in self.RUNTIMES),
+            configs=self.configs,
+        )
+
+
+@dataclass
+class PortabilityOutcome:
+    """§B.2: Fig. 2 series plus the three-architecture comparison."""
+
+    fig2: dict[str, dict[int, ExperimentResult]]
+    archs: dict[str, dict[str, ExperimentResult]] = field(default_factory=dict)
+    cross_arch_errors: dict[str, str] = field(default_factory=dict)
+
+
+class PortabilityStudy:
+    """Fig. 2 on CTE-POWER and the three-architecture §B.2 comparison."""
+
+    FIG2_VARIANTS: tuple[tuple[str, str, Optional[BuildTechnique]], ...] = (
+        ("bare-metal", "bare-metal", None),
+        (
+            "singularity system-specific",
+            "singularity",
+            BuildTechnique.SYSTEM_SPECIFIC,
+        ),
+        (
+            "singularity self-contained",
+            "singularity",
+            BuildTechnique.SELF_CONTAINED,
+        ),
+    )
+
+    def __init__(
+        self,
+        workmodel: Optional[AlyaWorkModel] = None,
+        nodes: tuple[int, ...] = FIG2_NODES,
+        sim_steps: int = 2,
+    ) -> None:
+        self.workmodel = workmodel or calibration.ctepower_cfd_workmodel()
+        self.nodes = nodes
+        self.sim_steps = sim_steps
+        self.runner = ExperimentRunner()
+
+    def run_fig2(self) -> dict[str, dict[int, ExperimentResult]]:
+        cluster = catalog.CTE_POWER
+        out: dict[str, dict[int, ExperimentResult]] = {}
+        for label, rt, tech in self.FIG2_VARIANTS:
+            series = {}
+            for n in self.nodes:
+                spec = ExperimentSpec(
+                    name=f"fig2-{label}-{n}n",
+                    cluster=cluster,
+                    runtime_name=rt,
+                    technique=tech,
+                    workmodel=self.workmodel,
+                    n_nodes=n,
+                    ranks_per_node=cluster.node.cores,
+                    threads_per_rank=1,
+                    sim_steps=self.sim_steps,
+                    granularity=EndpointGranularity.NODE,
+                )
+                series[n] = self.runner.run(spec)
+            out[label] = series
+        return out
+
+    def run_three_archs(
+        self, workmodel: Optional[AlyaWorkModel] = None
+    ) -> tuple[dict[str, dict[str, ExperimentResult]], dict[str, str]]:
+        """Same containerised case, rebuilt per ISA, on the three machines.
+
+        Also records the error each machine raises for a *foreign* image —
+        the reason the rebuild is necessary.
+        """
+        wm = workmodel or calibration.portability_cfd_workmodel()
+        machines = {
+            "MareNostrum4": catalog.MARENOSTRUM4,
+            "CTE-POWER": catalog.CTE_POWER,
+            "ThunderX": catalog.THUNDERX,
+        }
+        results: dict[str, dict[str, ExperimentResult]] = {}
+        errors: dict[str, str] = {}
+        builder = ImageBuilder()
+        x86_image = builder.build_sif(
+            alya_recipe(BuildTechnique.SELF_CONTAINED)
+        ).image
+        for name, cluster in machines.items():
+            per_variant = {}
+            for label, tech in (
+                ("system-specific", BuildTechnique.SYSTEM_SPECIFIC),
+                ("self-contained", BuildTechnique.SELF_CONTAINED),
+            ):
+                spec = ExperimentSpec(
+                    name=f"arch-{name}-{label}",
+                    cluster=cluster,
+                    runtime_name="singularity",
+                    technique=tech,
+                    workmodel=wm,
+                    n_nodes=2,
+                    ranks_per_node=cluster.node.cores,
+                    threads_per_rank=1,
+                    sim_steps=self.sim_steps,
+                    granularity=EndpointGranularity.NODE,
+                )
+                per_variant[label] = self.runner.run(spec)
+            results[name] = per_variant
+            if cluster.node.arch is not x86_image.arch:
+                try:
+                    from repro.containers.compat import check_architecture
+
+                    check_architecture(x86_image, cluster)
+                except IncompatibleArchitectureError as exc:
+                    errors[name] = str(exc)
+        return results, errors
+
+    def run(self) -> PortabilityOutcome:
+        fig2 = self.run_fig2()
+        archs, errors = self.run_three_archs()
+        return PortabilityOutcome(
+            fig2=fig2, archs=archs, cross_arch_errors=errors
+        )
+
+
+@dataclass
+class ScalabilityOutcome:
+    """§B.3: Fig. 3 — elapsed times and speedups per variant."""
+
+    results: dict[str, dict[int, ExperimentResult]]
+    base_nodes: int
+
+    def speedups(self) -> dict[str, dict[int, float]]:
+        return {
+            label: speedup_series(list(series.values()), self.base_nodes)
+            for label, series in self.results.items()
+        }
+
+    def ideal(self) -> dict[int, float]:
+        some = next(iter(self.results.values()))
+        return {n: n / self.base_nodes for n in sorted(some)}
+
+
+class ScalabilityStudy:
+    """Fig. 3: Alya FSI on MareNostrum4 up to 256 nodes / 12,288 cores."""
+
+    VARIANTS: tuple[tuple[str, str, Optional[BuildTechnique]], ...] = (
+        ("bare-metal", "bare-metal", None),
+        (
+            "singularity system-specific",
+            "singularity",
+            BuildTechnique.SYSTEM_SPECIFIC,
+        ),
+        (
+            "singularity self-contained",
+            "singularity",
+            BuildTechnique.SELF_CONTAINED,
+        ),
+    )
+
+    def __init__(
+        self,
+        workmodel: Optional[AlyaWorkModel] = None,
+        nodes: tuple[int, ...] = FIG3_NODES,
+        sim_steps: int = 2,
+    ) -> None:
+        self.workmodel = workmodel or calibration.mn4_fsi_workmodel()
+        self.nodes = nodes
+        self.sim_steps = sim_steps
+        self.runner = ExperimentRunner()
+
+    def run(self) -> ScalabilityOutcome:
+        cluster = catalog.MARENOSTRUM4
+        results: dict[str, dict[int, ExperimentResult]] = {}
+        for label, rt, tech in self.VARIANTS:
+            series = {}
+            for n in self.nodes:
+                spec = ExperimentSpec(
+                    name=f"fig3-{label}-{n}n",
+                    cluster=cluster,
+                    runtime_name=rt,
+                    technique=tech,
+                    workmodel=self.workmodel,
+                    n_nodes=n,
+                    ranks_per_node=cluster.node.cores,
+                    threads_per_rank=1,
+                    sim_steps=self.sim_steps,
+                    granularity=EndpointGranularity.NODE,
+                )
+                series[n] = self.runner.run(spec)
+            results[label] = series
+        return ScalabilityOutcome(results=results, base_nodes=min(self.nodes))

@@ -1,0 +1,193 @@
+"""Extension studies beyond the paper's three evaluations.
+
+Same shape as :mod:`repro.core.study`: a class per question, structured
+outcomes, and deterministic results.
+
+- :class:`WeakScalingStudy` — constant work per node (the paper only
+  strong-scales): flat step times for fabric-integrated modes, growing
+  for the TCP-fallback self-contained container.
+- :class:`DeploymentScalingStudy` — §B.1's deployment metrics along the
+  node axis: image-file runtimes stay flat, Docker's registry fan-out
+  grows with the node count.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.alya.workmodel import AlyaWorkModel, CaseKind
+from repro.containers import (
+    DockerRuntime,
+    ImageBuilder,
+    Registry,
+    ShifterGateway,
+    ShifterRuntime,
+    SingularityRuntime,
+)
+from repro.containers.recipes import BuildTechnique, alya_recipe
+from repro.core.experiment import EndpointGranularity, ExperimentSpec
+from repro.core.metrics import ExperimentResult
+from repro.core.runner import ExperimentRunner
+from repro.des.engine import Environment
+from repro.hardware import catalog
+from repro.hardware.cluster import Cluster, ClusterSpec
+from repro.oskernel.nodeos import NodeOS
+
+
+@dataclass
+class WeakScalingOutcome:
+    """Per-variant step times at constant cells/node."""
+
+    results: dict[str, dict[int, ExperimentResult]]
+    cells_per_node: int
+
+    def growth(self, label: str) -> float:
+        """step(max nodes) / step(min nodes) for one variant."""
+        series = self.results[label]
+        lo, hi = min(series), max(series)
+        return series[hi].avg_step_seconds / series[lo].avg_step_seconds
+
+
+class WeakScalingStudy:
+    """Constant work per node on MareNostrum4."""
+
+    VARIANTS: tuple[tuple[str, str, Optional[BuildTechnique]], ...] = (
+        ("bare-metal", "bare-metal", None),
+        (
+            "singularity system-specific",
+            "singularity",
+            BuildTechnique.SYSTEM_SPECIFIC,
+        ),
+        (
+            "singularity self-contained",
+            "singularity",
+            BuildTechnique.SELF_CONTAINED,
+        ),
+    )
+
+    def __init__(
+        self,
+        cells_per_node: int = 400_000,
+        nodes: tuple[int, ...] = (4, 16, 64),
+        sim_steps: int = 2,
+        cluster: Optional[ClusterSpec] = None,
+    ) -> None:
+        if cells_per_node < 1:
+            raise ValueError("cells_per_node must be >= 1")
+        self.cells_per_node = cells_per_node
+        self.nodes = tuple(sorted(set(nodes)))
+        self.sim_steps = sim_steps
+        self.cluster = cluster or catalog.MARENOSTRUM4
+        self.runner = ExperimentRunner()
+
+    def run(self) -> WeakScalingOutcome:
+        results: dict[str, dict[int, ExperimentResult]] = {}
+        for label, rt, tech in self.VARIANTS:
+            series = {}
+            for n in self.nodes:
+                work = AlyaWorkModel(
+                    case=CaseKind.CFD,
+                    n_cells=self.cells_per_node * n,
+                    cg_iters_per_step=25,
+                    nominal_timesteps=1,
+                )
+                spec = ExperimentSpec(
+                    name=f"weak-{label}-{n}",
+                    cluster=self.cluster,
+                    runtime_name=rt,
+                    technique=tech,
+                    workmodel=work,
+                    n_nodes=n,
+                    ranks_per_node=self.cluster.node.cores,
+                    threads_per_rank=1,
+                    sim_steps=self.sim_steps,
+                    granularity=EndpointGranularity.NODE,
+                )
+                series[n] = self.runner.run(spec)
+            results[label] = series
+        return WeakScalingOutcome(
+            results=results, cells_per_node=self.cells_per_node
+        )
+
+
+@dataclass
+class DeploymentScalingOutcome:
+    """runtime → node count → deployment seconds."""
+
+    seconds: dict[str, dict[int, float]] = field(default_factory=dict)
+
+    def growth(self, runtime: str) -> float:
+        series = self.seconds[runtime]
+        lo, hi = min(series), max(series)
+        return series[hi] / max(series[lo], 1e-12)
+
+
+class DeploymentScalingStudy:
+    """Deployment overhead vs node count, per runtime.
+
+    Runs the runtimes directly (no compatibility gate) on a hypothetical
+    machine derived from ``cluster`` where all of them are installed —
+    this is an extrapolation study, not a reproduction of a measured run.
+    """
+
+    def __init__(
+        self,
+        nodes: tuple[int, ...] = (4, 16, 64),
+        cluster: Optional[ClusterSpec] = None,
+    ) -> None:
+        self.nodes = tuple(sorted(set(nodes)))
+        base = cluster or catalog.MARENOSTRUM4
+        self.cluster = dataclasses.replace(
+            base,
+            name=f"{base.name}*",
+            admin_rights=True,
+            installed_runtimes={
+                "singularity": "2.4.2",
+                "shifter": "16.08.3",
+                "docker": "1.11.1",
+            },
+        )
+
+    def _deploy_once(self, runtime_cls, image_kind: str, n_nodes: int) -> float:
+        env = Environment()
+        cluster = Cluster(env, self.cluster, num_nodes=n_nodes)
+        node_os = [NodeOS(self.cluster, i) for i in range(n_nodes)]
+        registry = Registry(env)
+        gateway = ShifterGateway(env, registry)
+        recipe = alya_recipe(
+            BuildTechnique.SELF_CONTAINED, arch=self.cluster.node.arch
+        )
+        builder = ImageBuilder()
+        image = (
+            builder.build_oci(recipe).image
+            if image_kind == "oci"
+            else builder.build_sif(recipe).image
+        )
+        if image_kind == "oci":
+            registry.push(image)
+        rt = runtime_cls()
+        holder: dict = {}
+
+        def main():
+            holder["r"] = yield env.process(
+                rt.deploy(env, cluster, node_os, image,
+                          registry=registry, gateway=gateway)
+            )
+
+        env.process(main())
+        env.run()
+        return holder["r"][1].total_seconds
+
+    def run(self) -> DeploymentScalingOutcome:
+        outcome = DeploymentScalingOutcome()
+        for label, cls, kind in (
+            ("singularity", SingularityRuntime, "sif"),
+            ("shifter", ShifterRuntime, "oci"),
+            ("docker", DockerRuntime, "oci"),
+        ):
+            outcome.seconds[label] = {
+                n: self._deploy_once(cls, kind, n) for n in self.nodes
+            }
+        return outcome

@@ -1,0 +1,167 @@
+"""Parameter sweeps: run experiment grids, export the results.
+
+The studies in :mod:`repro.core.study` are the paper's fixed evaluations;
+:class:`Sweep` is the general tool behind them for users with their own
+questions ("how does *my* case behave on CTE-POWER between 2 and 32 nodes
+under all runtimes?"). It produces flat result rows suitable for CSV
+export or further analysis.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.alya.workmodel import AlyaWorkModel
+from repro.containers.recipes import BuildTechnique
+from repro.core.experiment import EndpointGranularity, ExperimentSpec
+from repro.core.metrics import ExperimentResult
+from repro.core.runner import ExperimentRunner
+from repro.hardware.cluster import ClusterSpec
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point: a runtime/technique at a node count."""
+
+    label: str
+    runtime_name: str
+    technique: Optional[BuildTechnique]
+    n_nodes: int
+
+
+@dataclass
+class SweepResult:
+    """All results of one sweep, queryable and exportable."""
+
+    rows: list[tuple[SweepPoint, ExperimentResult]] = field(default_factory=list)
+
+    def by_label(self, label: str) -> dict[int, ExperimentResult]:
+        """node count → result for one variant."""
+        return {
+            p.n_nodes: r for p, r in self.rows if p.label == label
+        }
+
+    def labels(self) -> list[str]:
+        seen: list[str] = []
+        for p, _ in self.rows:
+            if p.label not in seen:
+                seen.append(p.label)
+        return seen
+
+    def to_csv(self) -> str:
+        """Flat CSV: one row per (variant, node count)."""
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(
+            [
+                "label",
+                "runtime",
+                "technique",
+                "nodes",
+                "ranks",
+                "avg_step_seconds",
+                "elapsed_seconds",
+                "deployment_seconds",
+                "image_size_bytes",
+                "messages",
+                "bytes_sent",
+                "compute_fraction",
+                "halo_fraction",
+                "collective_fraction",
+                "coupling_fraction",
+            ]
+        )
+        for p, r in self.rows:
+            fr = r.phase_fractions
+            writer.writerow(
+                [
+                    p.label,
+                    p.runtime_name,
+                    p.technique.value if p.technique else "",
+                    p.n_nodes,
+                    r.total_ranks,
+                    f"{r.avg_step_seconds:.9f}",
+                    f"{r.elapsed_seconds:.6f}",
+                    f"{r.deployment_seconds:.6f}",
+                    f"{r.image_size_bytes:.0f}",
+                    r.messages,
+                    f"{r.bytes_sent:.0f}",
+                    f"{fr.get('compute', 0.0):.6f}",
+                    f"{fr.get('halo', 0.0):.6f}",
+                    f"{fr.get('collective', 0.0):.6f}",
+                    f"{fr.get('coupling', 0.0):.6f}",
+                ]
+            )
+        return buf.getvalue()
+
+
+class Sweep:
+    """A grid of experiments over (variants × node counts).
+
+    Parameters
+    ----------
+    cluster / workmodel:
+        Fixed for the whole sweep.
+    variants:
+        ``(label, runtime_name, technique)`` triples.
+    nodes:
+        Node counts.
+    ranks_per_node / threads_per_rank / sim_steps / granularity:
+        Forwarded to every spec.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        workmodel: AlyaWorkModel,
+        variants: Sequence[tuple[str, str, Optional[BuildTechnique]]],
+        nodes: Iterable[int],
+        ranks_per_node: Optional[int] = None,
+        threads_per_rank: int = 1,
+        sim_steps: int = 2,
+        granularity: EndpointGranularity = EndpointGranularity.AUTO,
+    ) -> None:
+        if not variants:
+            raise ValueError("a sweep needs at least one variant")
+        self.cluster = cluster
+        self.workmodel = workmodel
+        self.variants = list(variants)
+        self.nodes = sorted(set(nodes))
+        if not self.nodes:
+            raise ValueError("a sweep needs at least one node count")
+        self.ranks_per_node = (
+            ranks_per_node if ranks_per_node is not None else cluster.node.cores
+        )
+        self.threads_per_rank = threads_per_rank
+        self.sim_steps = sim_steps
+        self.granularity = granularity
+        self.runner = ExperimentRunner()
+
+    def run(
+        self,
+        progress: Optional[Callable[[SweepPoint], None]] = None,
+    ) -> SweepResult:
+        """Run the whole grid (deterministic order)."""
+        result = SweepResult()
+        for label, runtime_name, technique in self.variants:
+            for n in self.nodes:
+                point = SweepPoint(label, runtime_name, technique, n)
+                if progress is not None:
+                    progress(point)
+                spec = ExperimentSpec(
+                    name=f"sweep-{label}-{n}n",
+                    cluster=self.cluster,
+                    runtime_name=runtime_name,
+                    technique=technique,
+                    workmodel=self.workmodel,
+                    n_nodes=n,
+                    ranks_per_node=self.ranks_per_node,
+                    threads_per_rank=self.threads_per_rank,
+                    sim_steps=self.sim_steps,
+                    granularity=self.granularity,
+                )
+                result.rows.append((point, self.runner.run(spec)))
+        return result

@@ -1,0 +1,261 @@
+"""The DES event loop and generator-based processes.
+
+The :class:`Environment` keeps a priority queue of triggered events keyed by
+``(time, seq)``; :meth:`Environment.run` pops events in order, executes
+their callbacks, and thereby resumes any :class:`Process` waiting on them.
+Determinism: two events scheduled for the same time fire in scheduling
+order (FIFO), which makes every simulation in this package reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.des.events import AllOf, AnyOf, Event, Timeout
+
+
+class SimulationError(RuntimeError):
+    """Raised for engine-level errors (e.g. unhandled failed events)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    ``cause`` carries arbitrary context (who interrupted, why) — failure
+    injection uses it to model node crashes and job cancellations.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Event):
+    """A simulation process wrapping a generator.
+
+    The process itself is an event that fires when the generator returns;
+    its value is the generator's return value.  The generator must yield
+    :class:`Event` instances.
+    """
+
+    __slots__ = ("_generator", "_waiting_on", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(env)
+        if not hasattr(generator, "send"):
+            raise TypeError(f"{generator!r} is not a generator")
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Kick off the process via an immediately-scheduled initialisation
+        # event so that process bodies never run during construction.
+        init = Event(env)
+        init._ok = True
+        init._value = None
+        env._schedule(init)
+        init.callbacks.append(self._resume)
+        self._waiting_on = init  # so interrupt-before-start detaches cleanly
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current wait.
+
+        The event the process was waiting on keeps running; the process
+        simply stops waiting for it.  Interrupting a finished process is
+        an error.
+        """
+        if not self.is_alive:
+            raise RuntimeError(f"cannot interrupt finished process {self.name!r}")
+        relay = Event(self.env)
+        relay._ok = False
+        relay._value = Interrupt(cause)
+        relay._defused = True  # the throw into the generator handles it
+        self.env._schedule(relay)
+
+        def deliver(ev: Event) -> None:
+            # Detach at delivery time: by then the process has started (its
+            # init event precedes the relay in the queue) and is suspended
+            # at a yield, so the throw lands inside the body's try block.
+            if self.triggered:
+                return  # finished in the meantime; nothing to interrupt
+            target = self._waiting_on
+            if target is not None and target.callbacks is not None:
+                try:
+                    target.callbacks.remove(self._resume)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
+            self._waiting_on = None
+            self._resume(ev)
+
+        relay.callbacks.append(deliver)
+
+    def _resume(self, by: Event) -> None:
+        self._waiting_on = None
+        try:
+            if by.ok:
+                target = self._generator.send(by.value)
+            else:
+                by.defuse()
+                target = self._generator.throw(by.value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            exc = SimulationError(
+                f"process {self.name!r} yielded {target!r}, expected an Event"
+            )
+            try:
+                self._generator.throw(exc)
+            except BaseException as inner:
+                self.fail(inner)
+            return
+        if target.env is not self.env:
+            self.fail(SimulationError("yielded event from a different environment"))
+            return
+        self._waiting_on = target
+        if target.processed:
+            # Event already over: resume on a fresh immediate event carrying
+            # the same outcome, preserving run-to-yield semantics.
+            relay = Event(self.env)
+            relay._ok = target.ok
+            relay._value = target._value
+            self.env._schedule(relay)
+            relay.callbacks.append(self._resume)
+        else:
+            target.callbacks.append(self._resume)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Process {self.name!r} alive={self.is_alive}>"
+
+
+class Environment:
+    """A simulation environment: clock plus event queue.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulation clock (seconds).
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self._active = True
+
+    # -- clock --------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- factories ------------------------------------------------------------
+    def event(self) -> Event:
+        """Create a new, untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a :class:`Timeout` firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self,
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ) -> Process:
+        """Start a new :class:`Process` from ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires when any of ``events`` has fired."""
+        return AnyOf(self, events)
+
+    # -- scheduling ------------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+        self._seq += 1
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        assert callbacks is not None
+        for cb in callbacks:
+            cb(event)
+        if not event.ok and not event.defused:
+            value = event.value
+            if isinstance(value, BaseException):
+                raise value
+            raise SimulationError(f"unhandled failed event with value {value!r}")
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None`` — run until the event queue drains; a number — run until
+            the clock reaches it; an :class:`Event` — run until it fires and
+            return its value.
+        """
+        stop_event: Optional[Event] = None
+        stop_time = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise ValueError(f"until={stop_time} is in the past (now={self._now})")
+        while self._queue:
+            if stop_event is not None and stop_event.processed:
+                if not stop_event.ok:
+                    stop_event.defuse()
+                    raise stop_event.value
+                return stop_event.value
+            if self.peek() > stop_time:
+                self._now = stop_time
+                return None
+            self.step()
+        if stop_event is not None:
+            if stop_event.processed:
+                if not stop_event.ok:
+                    stop_event.defuse()
+                    raise stop_event.value
+                return stop_event.value
+            raise SimulationError(
+                "run(until=event) finished without the event firing (deadlock?)"
+            )
+        if stop_time != float("inf"):
+            self._now = stop_time
+        return None
+
+    def run_all(self, events: Iterable[Event]) -> list[Any]:
+        """Convenience: run until every event in ``events`` has fired."""
+        evs = list(events)
+        self.run(until=self.all_of(evs))
+        return [ev.value for ev in evs]

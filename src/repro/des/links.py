@@ -1,0 +1,178 @@
+"""Fair-share bandwidth links.
+
+A :class:`FairShareLink` models a shared medium (a NIC, a switch uplink, a
+software bridge) under *processor sharing*: at any instant the ``n`` active
+transfers each progress at ``bandwidth / n``.  Completion times are
+recomputed whenever a flow arrives or departs, so the model is exact for
+piecewise-constant sharing — the standard fluid approximation used by
+network simulators such as SimGrid.
+
+This is the mechanism that makes contention effects *emerge* in the
+reproduction: Docker's bridge path and 1 GbE TCP both become fair-share
+bottlenecks once many MPI ranks communicate at once (paper Fig. 1).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import TYPE_CHECKING, Optional  # noqa: F401
+
+from repro.des.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.des.engine import Environment
+
+_EPS_BYTES = 1e-6
+
+
+class _Flow:
+    __slots__ = ("flow_id", "remaining", "event", "nbytes")
+
+    def __init__(self, flow_id: int, nbytes: float, event: Event) -> None:
+        self.flow_id = flow_id
+        self.remaining = float(nbytes)
+        self.nbytes = float(nbytes)
+        self.event = event
+
+
+class FairShareLink:
+    """A link of fixed capacity shared fairly among concurrent transfers.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    bandwidth:
+        Capacity in **bytes per second**.
+    latency:
+        Fixed per-transfer latency in seconds, paid before the flow joins
+        the shared medium.
+    per_byte_overhead:
+        Multiplier (>= 1) on the byte count; models protocol overhead such
+        as TCP/IP encapsulation on a software bridge.
+    name:
+        Optional label for diagnostics.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        bandwidth: float,
+        latency: float = 0.0,
+        per_byte_overhead: float = 1.0,
+        name: Optional[str] = None,
+    ) -> None:
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        if latency < 0:
+            raise ValueError(f"latency must be >= 0, got {latency}")
+        if per_byte_overhead < 1.0:
+            raise ValueError("per_byte_overhead must be >= 1")
+        self.env = env
+        self.bandwidth = float(bandwidth)
+        self.latency = float(latency)
+        self.per_byte_overhead = float(per_byte_overhead)
+        self.name = name or "link"
+        self._flows: dict[int, _Flow] = {}
+        self._ids = itertools.count()
+        self._last_update = env.now
+        self._wake_gen = 0
+        self.bytes_carried = 0.0
+        self.peak_concurrency = 0
+
+    # -- public API -----------------------------------------------------------
+    @property
+    def active_flows(self) -> int:
+        """Number of transfers currently sharing the link."""
+        return len(self._flows)
+
+    def transfer(self, nbytes: float) -> Event:
+        """Start a transfer of ``nbytes``; the event fires on completion."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        done = Event(self.env)
+        wire_bytes = nbytes * self.per_byte_overhead
+        if self.latency > 0:
+            gate = self.env.timeout(self.latency)
+            gate.callbacks.append(lambda _ev: self._admit(wire_bytes, done))
+        else:
+            self._admit(wire_bytes, done)
+        return done
+
+    def instantaneous_rate(self) -> float:
+        """Per-flow rate right now (bytes/s); full bandwidth when idle."""
+        n = max(1, len(self._flows))
+        return self.bandwidth / n
+
+    # -- internals ------------------------------------------------------------
+    def _admit(self, wire_bytes: float, done: Event) -> None:
+        self._advance()
+        if wire_bytes <= _EPS_BYTES:
+            done.succeed()
+            return
+        flow = _Flow(next(self._ids), wire_bytes, done)
+        self._flows[flow.flow_id] = flow
+        self.bytes_carried += wire_bytes
+        self.peak_concurrency = max(self.peak_concurrency, len(self._flows))
+        self._reschedule()
+
+    def _advance(self) -> None:
+        """Progress all flows from the last update time to ``env.now``."""
+        now = self.env.now
+        elapsed = now - self._last_update
+        self._last_update = now
+        if elapsed <= 0 or not self._flows:
+            return
+        rate = self.bandwidth / len(self._flows)
+        drained = rate * elapsed
+        for flow in self._flows.values():
+            flow.remaining -= drained
+
+    def _reschedule(self) -> None:
+        """Schedule a wake-up at the next flow completion."""
+        self._wake_gen += 1
+        if not self._flows:
+            return
+        gen = self._wake_gen
+        rate = self.bandwidth / len(self._flows)
+        min_remaining = min(f.remaining for f in self._flows.values())
+        dt = max(0.0, min_remaining / rate)
+        wake = self.env.timeout(dt)
+        wake.callbacks.append(lambda _ev: self._on_wake(gen))
+
+    def _on_wake(self, gen: int) -> None:
+        if gen != self._wake_gen:
+            return  # superseded by a newer reschedule
+        self._advance()
+        # Completion threshold: besides the byte epsilon, any flow whose
+        # residual *time* is below the clock's floating-point resolution
+        # must finish now — otherwise the wake fires at an unchanged
+        # timestamp, _advance() drains nothing, and the link livelocks.
+        rate = self.bandwidth / max(1, len(self._flows))
+        ulp = math.ulp(self.env.now) if self.env.now > 0 else 1e-18
+        threshold = max(_EPS_BYTES, rate * 4.0 * ulp)
+        finished = [f for f in self._flows.values() if f.remaining <= threshold]
+        for flow in finished:
+            del self._flows[flow.flow_id]
+        for flow in finished:
+            flow.event.succeed()
+        self._reschedule()
+
+
+class LinkStats:
+    """Cumulative statistics snapshot for a :class:`FairShareLink`."""
+
+    __slots__ = ("bytes_carried", "peak_concurrency", "active_flows")
+
+    def __init__(self, link: FairShareLink) -> None:
+        self.bytes_carried = link.bytes_carried
+        self.peak_concurrency = link.peak_concurrency
+        self.active_flows = link.active_flows
+
+    def __repr__(self) -> str:  # pragma: no cover
+        gib = self.bytes_carried / 2**30
+        return (
+            f"<LinkStats {gib:.3f} GiB carried, "
+            f"peak {self.peak_concurrency} flows>"
+        )

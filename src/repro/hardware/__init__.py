@@ -1,0 +1,30 @@
+"""Hardware models: CPUs, nodes, fabrics, clusters.
+
+The four clusters of the paper (§A, *Experimental environment*) are
+available from :mod:`repro.hardware.catalog`:
+
+>>> from repro.hardware import catalog
+>>> catalog.MARENOSTRUM4.total_cores()
+165888
+
+All quantities use SI base units: seconds, bytes, bytes/second, flop/s.
+"""
+
+from repro.hardware.cpu import Architecture, CpuSpec
+from repro.hardware.memory import MemorySpec
+from repro.hardware.node import NodeSpec
+from repro.hardware.network import FabricKind, FabricSpec, NetworkPath
+from repro.hardware.cluster import Cluster, ClusterSpec, NodeSim
+
+__all__ = [
+    "Architecture",
+    "Cluster",
+    "ClusterSpec",
+    "CpuSpec",
+    "FabricKind",
+    "FabricSpec",
+    "MemorySpec",
+    "NetworkPath",
+    "NodeSim",
+    "NodeSpec",
+]

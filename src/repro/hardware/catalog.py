@@ -1,0 +1,111 @@
+"""The four clusters of the paper's experimental environment (§A).
+
+Numbers are taken from the paper where stated (node counts, CPU models,
+core counts, fabric types, installed runtime versions) and from public
+specifications otherwise (clocks, bandwidths).
+"""
+
+from __future__ import annotations
+
+from repro.hardware.cluster import ClusterSpec
+from repro.hardware.cpu import (
+    POWER9_8335_GTG,
+    THUNDERX_CN8890,
+    XEON_E5_2697V3,
+    XEON_PLATINUM_8160,
+)
+from repro.hardware.memory import MemorySpec, gib
+from repro.hardware.network import (
+    FORTY_GIG_ETHERNET,
+    GIGABIT_ETHERNET,
+    INFINIBAND_EDR,
+    OMNIPATH_100,
+)
+from repro.hardware.node import NodeSpec
+
+#: Lenovo-owned four-node cluster; the only machine with admin rights,
+#: hence the only one where Docker (root daemon) could be deployed.
+LENOX = ClusterSpec(
+    name="Lenox",
+    site="Lenovo",
+    num_nodes=4,
+    node=NodeSpec(
+        cpu=XEON_E5_2697V3,
+        sockets=2,
+        memory=MemorySpec(capacity=gib(128), copy_bandwidth=35e9),
+        local_disk_bandwidth=0.18e9,  # spinning disk
+    ),
+    fabric=GIGABIT_ETHERNET,
+    shared_fs_bandwidth=0.11e9,  # NFS over the same 1GbE
+    admin_rights=True,
+    installed_runtimes={
+        "docker": "1.11.1",
+        "singularity": "2.4.5",
+        "shifter": "16.08.3",
+    },
+)
+
+#: BSC Tier-0 machine; Skylake + Omni-Path, Singularity only.
+MARENOSTRUM4 = ClusterSpec(
+    name="MareNostrum4",
+    site="Barcelona Supercomputing Center",
+    num_nodes=3456,
+    node=NodeSpec(
+        cpu=XEON_PLATINUM_8160,
+        sockets=2,
+        memory=MemorySpec(capacity=gib(96), copy_bandwidth=60e9),
+        local_disk_bandwidth=0.5e9,
+    ),
+    fabric=OMNIPATH_100,
+    shared_fs_bandwidth=80e9,  # GPFS
+    admin_rights=False,
+    installed_runtimes={"singularity": "2.4.2"},
+)
+
+#: BSC Power9 cluster; EDR InfiniBand, Singularity only.
+CTE_POWER = ClusterSpec(
+    name="CTE-POWER",
+    site="Barcelona Supercomputing Center",
+    num_nodes=52,
+    node=NodeSpec(
+        cpu=POWER9_8335_GTG,
+        sockets=2,
+        memory=MemorySpec(capacity=gib(512), copy_bandwidth=90e9),
+        local_disk_bandwidth=1.0e9,  # NVMe
+    ),
+    fabric=INFINIBAND_EDR,
+    shared_fs_bandwidth=40e9,
+    admin_rights=False,
+    installed_runtimes={"singularity": "2.5.1"},
+)
+
+#: Mont-Blanc project Arm mini-cluster; 40GbE TCP, Singularity only.
+THUNDERX = ClusterSpec(
+    name="ThunderX",
+    site="Mont-Blanc project (BSC)",
+    num_nodes=4,
+    node=NodeSpec(
+        cpu=THUNDERX_CN8890,
+        sockets=2,
+        memory=MemorySpec(capacity=gib(128), copy_bandwidth=25e9),
+        local_disk_bandwidth=0.4e9,
+    ),
+    fabric=FORTY_GIG_ETHERNET,
+    shared_fs_bandwidth=1.0e9,
+    admin_rights=False,
+    installed_runtimes={"singularity": "2.5.2"},
+)
+
+ALL_CLUSTERS: dict[str, ClusterSpec] = {
+    spec.name: spec for spec in (LENOX, MARENOSTRUM4, CTE_POWER, THUNDERX)
+}
+
+
+def get_cluster(name: str) -> ClusterSpec:
+    """Look up a cluster by (case-insensitive) name."""
+    for key, spec in ALL_CLUSTERS.items():
+        if key.lower() == name.lower():
+            return spec
+    raise KeyError(
+        f"unknown cluster {name!r}; available: {sorted(ALL_CLUSTERS)}"
+    )

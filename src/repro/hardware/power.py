@@ -1,0 +1,118 @@
+"""Node power and job energy model.
+
+The ThunderX machine in the paper's testbed comes from the Mont-Blanc
+project, whose premise is energy-efficient HPC from mobile-class parts —
+a comparison the abstract leaves on the table.  This module adds the
+energy dimension: per-CPU power envelopes and a simple phase-based energy
+integral (compute at load power, communication at a fraction of it),
+which the three-architecture example uses to compare energy-to-solution.
+
+Power figures follow the parts' published TDPs and typical idle floors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.metrics import ExperimentResult
+    from repro.hardware.cluster import ClusterSpec
+
+
+@dataclass(frozen=True)
+class PowerEnvelope:
+    """Per-socket power model (watts)."""
+
+    tdp: float
+    idle_fraction: float = 0.35
+    #: Fraction of TDP drawn while the cores spin in communication waits.
+    comm_fraction: float = 0.62
+
+    def __post_init__(self) -> None:
+        if self.tdp <= 0:
+            raise ValueError("tdp must be positive")
+        if not 0 <= self.idle_fraction <= 1:
+            raise ValueError("idle_fraction must be in [0, 1]")
+        if not 0 <= self.comm_fraction <= 1:
+            raise ValueError("comm_fraction must be in [0, 1]")
+
+    @property
+    def active_watts(self) -> float:
+        return self.tdp
+
+    @property
+    def comm_watts(self) -> float:
+        return self.tdp * self.comm_fraction
+
+    @property
+    def idle_watts(self) -> float:
+        return self.tdp * self.idle_fraction
+
+
+#: Published TDP-class envelopes for the testbed CPUs.
+POWER_ENVELOPES: dict[str, PowerEnvelope] = {
+    "Intel Xeon E5-2697 v3": PowerEnvelope(tdp=145.0),
+    "Intel Xeon Platinum 8160": PowerEnvelope(tdp=150.0),
+    "IBM Power9 8335-GTG": PowerEnvelope(tdp=190.0),
+    "Cavium ThunderX CN8890": PowerEnvelope(tdp=95.0),
+}
+
+#: Non-CPU node overhead (DRAM, NIC, fans, VRs) as a fraction of CPU TDP.
+NODE_OVERHEAD_FRACTION = 0.45
+
+
+def node_power(cluster: "ClusterSpec", phase: str) -> float:
+    """Instantaneous node power (W) in a given phase.
+
+    ``phase`` is one of ``"compute"``, ``"comm"``, ``"idle"``.
+    """
+    envelope = POWER_ENVELOPES[cluster.node.cpu.name]
+    if phase == "compute":
+        cpu = envelope.active_watts
+    elif phase == "comm":
+        cpu = envelope.comm_watts
+    elif phase == "idle":
+        cpu = envelope.idle_watts
+    else:
+        raise ValueError(f"unknown phase {phase!r}")
+    sockets = cluster.node.sockets
+    return cpu * sockets * (1.0 + NODE_OVERHEAD_FRACTION)
+
+
+def job_energy(
+    cluster: "ClusterSpec",
+    n_nodes: int,
+    elapsed_seconds: float,
+    phase_fractions: Mapping[str, float],
+) -> float:
+    """Energy-to-solution in joules.
+
+    Communication-type phases (halo, collective, coupling) draw the comm
+    power; the rest of the elapsed time draws full compute power.
+    """
+    if elapsed_seconds < 0:
+        raise ValueError("elapsed_seconds must be >= 0")
+    if n_nodes < 1:
+        raise ValueError("n_nodes must be >= 1")
+    comm_share = sum(
+        phase_fractions.get(k, 0.0) for k in ("halo", "collective", "coupling")
+    )
+    comm_share = min(max(comm_share, 0.0), 1.0)
+    compute_seconds = elapsed_seconds * (1.0 - comm_share)
+    comm_seconds = elapsed_seconds * comm_share
+    per_node = (
+        compute_seconds * node_power(cluster, "compute")
+        + comm_seconds * node_power(cluster, "comm")
+    )
+    return per_node * n_nodes
+
+
+def energy_of(result: "ExperimentResult", cluster: "ClusterSpec") -> float:
+    """Energy-to-solution (J) of an experiment result."""
+    return job_energy(
+        cluster,
+        result.n_nodes,
+        result.elapsed_seconds,
+        result.phase_fractions,
+    )

@@ -1,0 +1,63 @@
+"""Switch-level interconnect topology.
+
+The flat model treats the fabric as a non-blocking crossbar limited only
+by the NICs.  Real machines hang nodes off leaf switches whose uplinks
+are *oversubscribed* (MareNostrum4's Omni-Path islands run 2:1), so
+traffic leaving a leaf contends for less bandwidth than the sum of its
+NICs.  :class:`SwitchTopology` adds that layer; the topology ablation
+quantifies what the flat assumption hides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SwitchTopology:
+    """A one-level leaf-switch topology.
+
+    Attributes
+    ----------
+    nodes_per_switch:
+        Nodes attached to each leaf switch.
+    oversubscription:
+        Ratio of attached-NIC bandwidth to uplink bandwidth (1.0 =
+        non-blocking, 2.0 = half the bandwidth leaves the leaf).
+    """
+
+    nodes_per_switch: int
+    oversubscription: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.nodes_per_switch < 1:
+            raise ValueError("nodes_per_switch must be >= 1")
+        if self.oversubscription < 1.0:
+            raise ValueError("oversubscription must be >= 1")
+
+    def switch_of(self, node_id: int) -> int:
+        """The leaf switch hosting ``node_id``."""
+        if node_id < 0:
+            raise ValueError("node_id must be >= 0")
+        return node_id // self.nodes_per_switch
+
+    def same_switch(self, a: int, b: int) -> bool:
+        """Whether two nodes share a leaf (no uplink crossing)."""
+        return self.switch_of(a) == self.switch_of(b)
+
+    def n_switches(self, n_nodes: int) -> int:
+        """Leaf switches needed for ``n_nodes``."""
+        return -(-n_nodes // self.nodes_per_switch)
+
+    def uplink_bandwidth(self, nic_bandwidth: float) -> float:
+        """Aggregate uplink bytes/s of one leaf switch."""
+        if nic_bandwidth <= 0:
+            raise ValueError("nic_bandwidth must be positive")
+        return nic_bandwidth * self.nodes_per_switch / self.oversubscription
+
+
+#: MareNostrum4's published Omni-Path island configuration class.
+MN4_OPA_ISLANDS = SwitchTopology(nodes_per_switch=48, oversubscription=2.0)
+
+#: A non-blocking reference.
+NON_BLOCKING = SwitchTopology(nodes_per_switch=48, oversubscription=1.0)

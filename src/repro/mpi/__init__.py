@@ -1,0 +1,29 @@
+"""Simulated MPI: ranks as DES processes, real collective algorithms.
+
+The layer is granularity-agnostic: an *endpoint* can be one MPI rank
+(small jobs, Lenox's 112 ranks) or one node-group (hierarchical mode for
+the 256-node MareNostrum4 runs), chosen by the workload layer through the
+:class:`~repro.mpi.topology.RankMap`.
+
+Costs are not painted on: every collective is executed as its actual
+message schedule (binomial tree, recursive doubling, ring) over the
+cluster's fair-share links, so contention, rank-count scaling and
+path-dependent degradation emerge from the mechanism.
+"""
+
+from repro.mpi.datatypes import Message
+from repro.mpi.perf import MpiPerf
+from repro.mpi.topology import RankMap
+from repro.mpi.comm import SimComm
+from repro.mpi import collectives
+from repro.mpi.launcher import MpiJob, run_spmd
+
+__all__ = [
+    "Message",
+    "MpiJob",
+    "MpiPerf",
+    "RankMap",
+    "SimComm",
+    "collectives",
+    "run_spmd",
+]

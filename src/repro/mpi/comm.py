@@ -1,0 +1,244 @@
+"""The simulated communicator.
+
+Each endpoint has a message queue (:class:`~repro.des.channels.Store`);
+``isend`` spawns a delivery process that pays the per-message latency,
+streams the bytes through the cluster's fair-share links, and then
+deposits the message; ``recv`` blocks on a (source, tag)-filtered get.
+
+Semantics match a rendezvous-free eager MPI: a send completes when the
+payload has been delivered, receives match by (src, tag) with FIFO order
+per pair, and ``ANY_SOURCE``/``ANY_TAG`` wildcards are supported.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.des.channels import Store
+from repro.des.events import Event
+from repro.mpi.datatypes import Message
+from repro.mpi.perf import MpiPerf
+from repro.mpi.topology import RankMap
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.des.engine import Environment
+    from repro.hardware.cluster import Cluster
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+class SimComm:
+    """A communicator over a wired cluster.
+
+    Parameters
+    ----------
+    env / cluster:
+        Simulation context; ``cluster.wire_network`` must already have
+        been called with the same path as ``perf.path``.
+    rankmap:
+        Endpoint placement.
+    perf:
+        Per-message cost model.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        cluster: "Cluster",
+        rankmap: RankMap,
+        perf: MpiPerf,
+        tracer=None,
+    ) -> None:
+        if rankmap.n_nodes > len(cluster.nodes):
+            raise ValueError(
+                f"rank map needs {rankmap.n_nodes} nodes, cluster has "
+                f"{len(cluster.nodes)}"
+            )
+        self.env = env
+        self.cluster = cluster
+        self.rankmap = rankmap
+        self.perf = perf
+        self._queues = [Store(env) for _ in range(rankmap.n_ranks)]
+        #: Optional :class:`repro.des.trace.Tracer` receiving
+        #: ``mpi.send`` / ``mpi.deliver`` records.
+        self.tracer = tracer
+        # Traffic accounting for reports/ablations.
+        self.messages_sent = 0
+        self.bytes_sent = 0.0
+        self.internode_messages = 0
+
+    @property
+    def size(self) -> int:
+        """Number of endpoints."""
+        return self.rankmap.n_ranks
+
+    # -- point to point -----------------------------------------------------------
+    def isend(
+        self,
+        src: int,
+        dst: int,
+        tag: int,
+        nbytes: float,
+        payload=None,
+    ) -> Event:
+        """Non-blocking send; the event fires when the message is delivered."""
+        self._check_rank(src)
+        self._check_rank(dst)
+        msg = Message(src, dst, tag, nbytes, payload)
+        same_node = self.rankmap.same_node(src, dst)
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+        if not same_node:
+            self.internode_messages += 1
+        if self.tracer is not None and self.tracer.wants("mpi.send"):
+            self.tracer.record(
+                self.env.now, "mpi.send", f"{src}->{dst}",
+                tag=tag, nbytes=nbytes, same_node=same_node,
+            )
+
+        def deliver():
+            yield self.env.timeout(self.perf.message_latency(same_node, nbytes))
+            if same_node:
+                src_node = self.rankmap.node_of(src)
+                yield self.cluster.nodes[src_node].shm.transfer(nbytes)
+            else:
+                src_node = self.rankmap.node_of(src)
+                dst_node = self.rankmap.node_of(dst)
+                # Bridge+NAT (Docker): each message is processed by the
+                # node's single softirq pipeline at both ends — serialized.
+                yield from self._bridge_hop(src_node)
+                yield self.cluster.transfer(
+                    src_node,
+                    dst_node,
+                    nbytes * self.perf.inter.per_byte_overhead,
+                )
+                yield from self._bridge_hop(dst_node)
+            if self.tracer is not None and self.tracer.wants("mpi.deliver"):
+                self.tracer.record(
+                    self.env.now, "mpi.deliver", f"{src}->{dst}",
+                    tag=tag, nbytes=nbytes,
+                )
+            yield self._queues[dst].put(msg)
+
+        return self.env.process(deliver(), name=f"msg {src}->{dst} t{tag}")
+
+    def send(self, src: int, dst: int, tag: int, nbytes: float, payload=None):
+        """Blocking send as a generator: ``yield from comm.send(...)``."""
+        yield self.isend(src, dst, tag, nbytes, payload)
+
+    def recv(self, dst: int, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> Event:
+        """Event yielding the first matching :class:`Message`."""
+        self._check_rank(dst)
+
+        def match(m: Message) -> bool:
+            return (src == ANY_SOURCE or m.src == src) and (
+                tag == ANY_TAG or m.tag == tag
+            )
+
+        return self._queues[dst].get(match)
+
+    def sendrecv(
+        self,
+        me: int,
+        dst: int,
+        src: int,
+        tag: int,
+        nbytes: float,
+        payload=None,
+    ):
+        """Concurrent exchange; generator returning the received message."""
+        send_done = self.isend(me, dst, tag, nbytes, payload)
+        recv_done = self.recv(me, src, tag)
+        yield self.env.all_of([send_done, recv_done])
+        return recv_done.value
+
+    # -- groups -------------------------------------------------------------------
+    def group(self, members: "Sequence[int]") -> "GroupComm":
+        """A sub-communicator over ``members`` (global ranks).
+
+        The returned object has the :class:`SimComm` communication API
+        with ranks renumbered 0..len(members)-1 — collectives run on it
+        unchanged.  This is how multi-code jobs (the FSI case's two Alya
+        instances) split an allocation.
+        """
+        return GroupComm(self, members)
+
+    # -- internals ----------------------------------------------------------------
+    def _bridge_hop(self, node_id: int):
+        """Pass the node's serialized bridge pipeline, if one exists."""
+        bridge = self.cluster.nodes[node_id].bridge
+        if bridge is None:
+            return
+        from repro.hardware.network import BRIDGE_CPU_PER_MESSAGE
+
+        with (yield bridge.request()):
+            yield self.env.timeout(BRIDGE_CPU_PER_MESSAGE)
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.rankmap.n_ranks:
+            raise ValueError(
+                f"rank {rank} out of range [0, {self.rankmap.n_ranks})"
+            )
+
+
+class GroupComm:
+    """A sub-communicator: the :class:`SimComm` API over a rank subset.
+
+    Group ranks are dense (0..n-1) and translate to the parent's global
+    ranks; traffic flows through the parent (and therefore through the
+    same links, counters and tracer).  Distinct groups use disjoint rank
+    pairs, so identical tags in different groups never cross-match.
+    """
+
+    def __init__(self, parent: SimComm, members) -> None:
+        members = list(members)
+        if not members:
+            raise ValueError("a group needs at least one member")
+        if len(set(members)) != len(members):
+            raise ValueError("duplicate ranks in group")
+        for m in members:
+            parent._check_rank(m)
+        self.parent = parent
+        self.members = members
+        self._to_group = {g: i for i, g in enumerate(members)}
+
+    @property
+    def env(self):
+        return self.parent.env
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    def translate(self, group_rank: int) -> int:
+        """Group rank → global rank."""
+        try:
+            return self.members[group_rank]
+        except IndexError:
+            raise ValueError(
+                f"rank {group_rank} out of range [0, {self.size})"
+            ) from None
+
+    def group_rank_of(self, global_rank: int) -> int:
+        """Global rank → group rank (KeyError if not a member)."""
+        return self._to_group[global_rank]
+
+    # -- the SimComm communication API ------------------------------------------
+    def isend(self, src, dst, tag, nbytes, payload=None):
+        return self.parent.isend(
+            self.translate(src), self.translate(dst), tag, nbytes, payload
+        )
+
+    def send(self, src, dst, tag, nbytes, payload=None):
+        yield self.isend(src, dst, tag, nbytes, payload)
+
+    def recv(self, dst, src=ANY_SOURCE, tag=ANY_TAG):
+        g_src = src if src == ANY_SOURCE else self.translate(src)
+        return self.parent.recv(self.translate(dst), g_src, tag)
+
+    def sendrecv(self, me, dst, src, tag, nbytes, payload=None):
+        send_done = self.isend(me, dst, tag, nbytes, payload)
+        recv_done = self.recv(me, src, tag)
+        yield self.env.all_of([send_done, recv_done])
+        return recv_done.value

@@ -1,0 +1,31 @@
+"""Message record and reserved tags."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+#: Tag space reserved for collective operations (one sub-tag per round).
+COLLECTIVE_TAG_BASE = 1_000_000
+
+
+@dataclass(frozen=True)
+class Message:
+    """An in-flight or delivered MPI message (metadata only)."""
+
+    src: int
+    dst: int
+    tag: int
+    nbytes: float
+    payload: Any = None
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        if self.src < 0 or self.dst < 0:
+            raise ValueError("ranks must be >= 0")
+
+
+def collective_tag(op_id: int, round_id: int) -> int:
+    """A tag unique to (collective instance, round)."""
+    return COLLECTIVE_TAG_BASE + op_id * 1024 + round_id

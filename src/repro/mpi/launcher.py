@@ -1,0 +1,97 @@
+"""Job launch: SPMD process spawning with container launch overheads."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
+
+from repro.mpi.comm import SimComm
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.containers.runtime import DeployedContainer
+    from repro.des.engine import Environment, Process
+
+
+def run_spmd(
+    comm: SimComm,
+    body: Callable[[SimComm, int], object],
+    launch_overhead: float = 0.0,
+) -> list["Process"]:
+    """Spawn ``body(comm, rank)`` for every endpoint; returns the processes.
+
+    ``body`` must be a generator function (SPMD program).  Each rank pays
+    ``launch_overhead`` before its first statement, as ``exec`` through a
+    container runtime would impose.
+    """
+    env = comm.env
+
+    def wrap(rank: int):
+        if launch_overhead > 0:
+            yield env.timeout(launch_overhead)
+        result = yield from body(comm, rank)
+        return result
+
+    return [
+        env.process(wrap(rank), name=f"rank-{rank}")
+        for rank in range(comm.size)
+    ]
+
+
+@dataclass
+class JobResult:
+    """Outcome of one simulated MPI job."""
+
+    elapsed_seconds: float
+    rank_results: list = field(default_factory=list)
+    messages_sent: int = 0
+    bytes_sent: float = 0.0
+    internode_messages: int = 0
+
+
+class MpiJob:
+    """One MPI application run inside (or outside) containers.
+
+    Parameters
+    ----------
+    comm:
+        The communicator (already bound to a wired cluster).
+    body:
+        Generator function ``body(comm, rank)`` — the SPMD program.
+    containers:
+        Per-node deployed containers (or ``None`` for an uncontained run);
+        supplies the per-rank launch overhead.
+    """
+
+    def __init__(
+        self,
+        comm: SimComm,
+        body: Callable[[SimComm, int], object],
+        containers: Optional[Sequence["DeployedContainer"]] = None,
+    ) -> None:
+        self.comm = comm
+        self.body = body
+        self.containers = list(containers) if containers else None
+
+    def _launch_overhead(self) -> float:
+        if not self.containers:
+            return 0.0
+        return max(c.launch_overhead_per_rank for c in self.containers)
+
+    def run(self):
+        """DES generator: launch all ranks, wait, return a JobResult."""
+        env = self.comm.env
+        t0 = env.now
+        m0, b0, i0 = (
+            self.comm.messages_sent,
+            self.comm.bytes_sent,
+            self.comm.internode_messages,
+        )
+        procs = run_spmd(self.comm, self.body, self._launch_overhead())
+        yield env.all_of(procs)
+        return JobResult(
+            elapsed_seconds=env.now - t0,
+            rank_results=[p.value for p in procs],
+            messages_sent=self.comm.messages_sent - m0,
+            bytes_sent=self.comm.bytes_sent - b0,
+            internode_messages=self.comm.internode_messages - i0,
+        )

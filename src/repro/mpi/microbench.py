@@ -1,0 +1,139 @@
+"""OSU-style MPI microbenchmarks on the simulated cluster.
+
+Container-in-HPC studies (including the follow-ups to this paper) lead
+with point-to-point latency/bandwidth tables per runtime; this module
+provides the same probes against the model:
+
+- :func:`ping_pong` — two-rank round-trip latency and streaming
+  bandwidth across message sizes;
+- :func:`allreduce_latency` — collective latency across sizes and ranks;
+- :func:`bisection_bandwidth` — all pairs across the node-halves cut.
+
+Each returns plain rows; ``examples/osu_style_microbench.py`` renders the
+classic tables for every execution mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.des.engine import Environment
+from repro.hardware.cluster import Cluster, ClusterSpec
+from repro.hardware.network import NetworkPath
+from repro.mpi import collectives
+from repro.mpi.comm import SimComm
+from repro.mpi.launcher import run_spmd
+from repro.mpi.perf import MpiPerf
+from repro.mpi.topology import RankMap
+
+#: The classic OSU size ladder (bytes).
+DEFAULT_SIZES: tuple[float, ...] = (8, 1024, 65536, 1048576, 4194304)
+
+
+@dataclass(frozen=True)
+class PingPongPoint:
+    """One row of the ping-pong table."""
+
+    nbytes: float
+    latency_seconds: float  # one-way (half the round trip)
+    bandwidth_bytes_per_s: float
+
+
+def _fresh_comm(
+    spec: ClusterSpec,
+    path: NetworkPath,
+    n_ranks: int,
+    n_nodes: int,
+) -> tuple[Environment, SimComm]:
+    env = Environment()
+    cluster = Cluster(env, spec, num_nodes=n_nodes)
+    cluster.wire_network(path)
+    perf = MpiPerf.for_fabric(spec.fabric, path)
+    return env, SimComm(env, cluster, RankMap(n_ranks, n_nodes), perf)
+
+
+def ping_pong(
+    spec: ClusterSpec,
+    path: NetworkPath,
+    sizes: Sequence[float] = DEFAULT_SIZES,
+    iterations: int = 10,
+    same_node: bool = False,
+) -> list[PingPongPoint]:
+    """Two-rank ping-pong across ``sizes`` (fresh network per size)."""
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    points = []
+    for size in sizes:
+        env, comm = _fresh_comm(spec, path, 2, 1 if same_node else 2)
+        t_mark = {}
+
+        def rank0(c, r, size=size):
+            t0 = env.now
+            for i in range(iterations):
+                yield from c.send(0, 1, tag=i, nbytes=size)
+                yield c.recv(0, 1, i)
+            t_mark["elapsed"] = env.now - t0
+
+        def rank1(c, r, size=size):
+            for i in range(iterations):
+                yield c.recv(1, 0, i)
+                yield from c.send(1, 0, tag=i, nbytes=size)
+
+        procs = [env.process(rank0(comm, 0)), env.process(rank1(comm, 1))]
+        env.run(until=env.all_of(procs))
+        round_trip = t_mark["elapsed"] / iterations
+        one_way = round_trip / 2.0
+        points.append(
+            PingPongPoint(
+                nbytes=size,
+                latency_seconds=one_way,
+                bandwidth_bytes_per_s=size / one_way,
+            )
+        )
+    return points
+
+
+def allreduce_latency(
+    spec: ClusterSpec,
+    path: NetworkPath,
+    n_ranks: int,
+    n_nodes: int,
+    nbytes: float = 8.0,
+    iterations: int = 5,
+) -> float:
+    """Mean allreduce time (seconds) at the given scale."""
+    env, comm = _fresh_comm(spec, path, n_ranks, n_nodes)
+
+    def body(c, rank):
+        for i in range(iterations):
+            yield from collectives.allreduce(c, rank, op=i, nbytes=nbytes)
+
+    procs = run_spmd(comm, body)
+    env.run(until=env.all_of(procs))
+    return env.now / iterations
+
+
+def bisection_bandwidth(
+    spec: ClusterSpec,
+    path: NetworkPath,
+    n_nodes: int = 4,
+    nbytes: float = 64e6,
+) -> float:
+    """Aggregate bytes/s across the half/half node cut (one rank/node)."""
+    if n_nodes < 2 or n_nodes % 2:
+        raise ValueError("n_nodes must be even and >= 2")
+    env, comm = _fresh_comm(spec, path, n_nodes, n_nodes)
+    half = n_nodes // 2
+
+    def body(c, rank):
+        if rank < half:
+            yield from c.send(rank, rank + half, tag=1, nbytes=nbytes)
+        else:
+            yield c.recv(rank, rank - half, 1)
+
+    procs = run_spmd(comm, body)
+    t0 = env.now
+    env.run(until=env.all_of(procs))
+    elapsed = env.now - t0
+    return half * nbytes / elapsed

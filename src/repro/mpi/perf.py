@@ -1,0 +1,83 @@
+"""MPI point-to-point cost parameters.
+
+A message's cost has two parts:
+
+- a **per-message latency** paid up front: MPI software overhead at both
+  ends plus the wire/shm latency of the path taken;
+- a **bandwidth term** served by the cluster's fair-share links (NIC
+  transmit + receive pipes, or the node's memory-copy link), so it is a
+  function of instantaneous contention, not a constant.
+
+Software overhead differs by path: a kernel-bypass fabric (verbs/PSM2)
+costs well under a microsecond of CPU per message; the TCP stack costs
+several; Docker's bridge adds NAT/veth processing on top (already folded
+into the path's latency by :meth:`FabricSpec.path_params`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.network import (
+    SHM_BANDWIDTH,
+    SHM_LATENCY,
+    FabricSpec,
+    NetworkPath,
+    PathParams,
+)
+
+#: Per-end MPI software overhead (seconds per message) by path.
+SW_OVERHEAD = {
+    NetworkPath.HOST_NATIVE: 0.4e-6,
+    NetworkPath.TCP_FALLBACK: 5.0e-6,
+    NetworkPath.BRIDGE_NAT: 7.0e-6,
+}
+
+#: Overhead of the shared-memory BTL, per message per end.
+SHM_SW_OVERHEAD = 0.2e-6
+
+#: Eager/rendezvous switch: messages above this are preceded by an
+#: RTS/CTS handshake (one extra round-trip) so the receiver can post the
+#: buffer — the MPICH/Open MPI default class of thresholds.
+RENDEZVOUS_THRESHOLD = 64 * 1024
+
+
+@dataclass(frozen=True)
+class MpiPerf:
+    """Cost parameters for one job's communication."""
+
+    path: NetworkPath
+    inter: PathParams
+    shm_latency: float = SHM_LATENCY
+    shm_bandwidth: float = SHM_BANDWIDTH
+    rendezvous_threshold: float = RENDEZVOUS_THRESHOLD
+
+    @classmethod
+    def for_fabric(cls, fabric: FabricSpec, path: NetworkPath) -> "MpiPerf":
+        """Build the model for ``fabric`` traffic taking ``path``."""
+        return cls(path=path, inter=fabric.path_params(path))
+
+    def message_latency(self, same_node: bool, nbytes: float = 0.0) -> float:
+        """Fixed per-message cost (both ends' software + wire latency).
+
+        Messages above the rendezvous threshold pay one extra round-trip
+        for the RTS/CTS handshake.
+        """
+        if same_node:
+            base = 2 * SHM_SW_OVERHEAD + self.shm_latency
+            wire = self.shm_latency
+        else:
+            base = 2 * SW_OVERHEAD[self.path] + self.inter.latency
+            wire = self.inter.latency
+        if nbytes > self.rendezvous_threshold:
+            return base + 2 * wire  # RTS + CTS before the payload
+        return base
+
+    def zero_contention_time(self, nbytes: float, same_node: bool) -> float:
+        """Analytic message time on an idle network (for tests/estimates)."""
+        if same_node:
+            return self.message_latency(True, nbytes) + nbytes / self.shm_bandwidth
+        return (
+            self.message_latency(False, nbytes)
+            + nbytes * self.inter.per_byte_overhead / self.inter.bandwidth
+        )

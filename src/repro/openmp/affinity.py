@@ -1,0 +1,40 @@
+"""Thread-to-core affinity layout.
+
+Produces the cpuset each rank's thread team should be pinned to — the
+input SLURM's binding (and Docker's cpuset cgroup) consumes.
+"""
+
+from __future__ import annotations
+
+
+def thread_affinity(
+    node_cores: int,
+    ranks_on_node: int,
+    threads_per_rank: int,
+    local_rank: int,
+) -> frozenset[int]:
+    """Cores assigned to ``local_rank``'s thread team on one node.
+
+    Compact, non-overlapping assignment (OMP_PROC_BIND=close): rank *i*
+    gets cores ``[i*t, (i+1)*t)``.
+
+    Raises
+    ------
+    ValueError
+        If the request oversubscribes the node or the local rank is out
+        of range.
+    """
+    if ranks_on_node < 1 or threads_per_rank < 1:
+        raise ValueError("ranks and threads must be >= 1")
+    if not 0 <= local_rank < ranks_on_node:
+        raise ValueError(
+            f"local_rank {local_rank} out of range [0, {ranks_on_node})"
+        )
+    needed = ranks_on_node * threads_per_rank
+    if needed > node_cores:
+        raise ValueError(
+            f"{ranks_on_node} ranks x {threads_per_rank} threads = {needed} "
+            f"cores > node's {node_cores}"
+        )
+    start = local_rank * threads_per_rank
+    return frozenset(range(start, start + threads_per_rank))

@@ -1,0 +1,21 @@
+"""SLURM-like batch scheduler substrate.
+
+The paper's runs go through a production batch system; this subpackage
+models the parts that shape an experiment: node allocation out of a
+partition, task layout (``--ntasks`` / ``--cpus-per-task``), and core
+binding implemented with cpuset cgroups.
+"""
+
+from repro.scheduler.jobs import JobRequest, JobState, Allocation
+from repro.scheduler.slurm import Partition, SlurmScheduler, SchedulerError
+from repro.scheduler.binding import bind_job_tasks
+
+__all__ = [
+    "Allocation",
+    "JobRequest",
+    "JobState",
+    "Partition",
+    "SchedulerError",
+    "SlurmScheduler",
+    "bind_job_tasks",
+]

@@ -1,0 +1,40 @@
+"""Core binding: task layout to cpuset cgroups.
+
+SLURM's ``task/cgroup`` plugin pins every task's thread team to a cpuset;
+this module reproduces that wiring against the :mod:`repro.oskernel`
+cgroup hierarchy, so the binding a job gets is a real constrained cpuset
+rather than an assumption.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.openmp.affinity import thread_affinity
+from repro.scheduler.jobs import JobRequest
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.oskernel.cgroups import Cgroup, CgroupHierarchy
+
+
+def bind_job_tasks(
+    hierarchy: "CgroupHierarchy",
+    job: JobRequest,
+    node_cores: int,
+    local_tasks: int,
+) -> list["Cgroup"]:
+    """Create one cpuset cgroup per local task on a node.
+
+    Returns the task cgroups, whose effective cpusets partition the cores
+    the job uses on this node.
+    """
+    groups = []
+    for local_rank in range(local_tasks):
+        cpus = thread_affinity(
+            node_cores, local_tasks, job.cpus_per_task, local_rank
+        )
+        group = hierarchy.create(
+            f"/slurm/job{job.job_id}/task{local_rank}", cpuset=cpus
+        )
+        groups.append(group)
+    return groups

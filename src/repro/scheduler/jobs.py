@@ -1,0 +1,83 @@
+"""Batch job descriptions and allocations."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a batch job."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+_job_ids = itertools.count(1)
+
+
+@dataclass
+class JobRequest:
+    """What an ``sbatch`` submission asks for.
+
+    Attributes
+    ----------
+    name:
+        Job name.
+    nodes:
+        Nodes requested (exclusive allocation, as on MareNostrum4).
+    ntasks:
+        Total MPI tasks.
+    cpus_per_task:
+        OpenMP threads per task.
+    time_limit:
+        Wall-clock limit in seconds.
+    """
+
+    name: str
+    nodes: int
+    ntasks: int
+    cpus_per_task: int = 1
+    time_limit: float = 3600.0
+    job_id: int = field(default_factory=lambda: next(_job_ids))
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError("nodes must be >= 1")
+        if self.ntasks < 1:
+            raise ValueError("ntasks must be >= 1")
+        if self.cpus_per_task < 1:
+            raise ValueError("cpus_per_task must be >= 1")
+        if self.time_limit <= 0:
+            raise ValueError("time_limit must be positive")
+        if self.ntasks < self.nodes:
+            raise ValueError("cannot spread fewer tasks than nodes")
+
+    @property
+    def tasks_per_node(self) -> int:
+        """Tasks on each node (ceil)."""
+        return -(-self.ntasks // self.nodes)
+
+    def cores_needed_per_node(self) -> int:
+        """Cores one node must provide."""
+        return self.tasks_per_node * self.cpus_per_task
+
+
+@dataclass
+class Allocation:
+    """A granted set of nodes for one job."""
+
+    job: JobRequest
+    node_ids: tuple[int, ...]
+    granted_at: float
+
+    def __post_init__(self) -> None:
+        if len(self.node_ids) != self.job.nodes:
+            raise ValueError(
+                f"allocation has {len(self.node_ids)} nodes, job wants "
+                f"{self.job.nodes}"
+            )

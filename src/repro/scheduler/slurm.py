@@ -1,0 +1,132 @@
+"""The scheduler proper: partitions, FIFO queue, exclusive allocation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.scheduler.jobs import Allocation, JobRequest, JobState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.des.engine import Environment
+    from repro.hardware.cluster import ClusterSpec
+
+
+class SchedulerError(RuntimeError):
+    """Invalid submission or scheduling state."""
+
+
+@dataclass
+class Partition:
+    """A named slice of a cluster's nodes."""
+
+    name: str
+    cluster: "ClusterSpec"
+    node_ids: tuple[int, ...]
+    max_nodes_per_job: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.node_ids:
+            raise ValueError("a partition needs at least one node")
+        bad = [n for n in self.node_ids if not 0 <= n < self.cluster.num_nodes]
+        if bad:
+            raise ValueError(f"node ids outside the cluster: {bad}")
+
+    @classmethod
+    def whole_cluster(cls, cluster: "ClusterSpec", name: str = "main") -> "Partition":
+        return cls(name=name, cluster=cluster,
+                   node_ids=tuple(range(cluster.num_nodes)))
+
+
+class SlurmScheduler:
+    """FIFO, exclusive-node scheduler over one partition.
+
+    Jobs are validated against the partition at submission (a job that can
+    never run is rejected immediately, like ``sbatch``'s
+    "Requested node configuration is not available").
+    """
+
+    def __init__(self, env: "Environment", partition: Partition) -> None:
+        self.env = env
+        self.partition = partition
+        self._free: set[int] = set(partition.node_ids)
+        self._queue: list[JobRequest] = []
+        self._states: dict[int, JobState] = {}
+        self._allocations: dict[int, Allocation] = {}
+        self._waiters: dict[int, object] = {}
+
+    # -- submission ---------------------------------------------------------
+    def validate(self, job: JobRequest) -> None:
+        """Reject jobs that can never be satisfied."""
+        if job.nodes > len(self.partition.node_ids):
+            raise SchedulerError(
+                f"job wants {job.nodes} nodes, partition "
+                f"{self.partition.name!r} has {len(self.partition.node_ids)}"
+            )
+        limit = self.partition.max_nodes_per_job
+        if limit is not None and job.nodes > limit:
+            raise SchedulerError(
+                f"job exceeds the partition's {limit}-node limit"
+            )
+        cores = self.partition.cluster.node.cores
+        if job.cores_needed_per_node() > cores:
+            raise SchedulerError(
+                f"job needs {job.cores_needed_per_node()} cores/node, "
+                f"nodes have {cores}"
+            )
+
+    def submit(self, job: JobRequest):
+        """Queue a job; returns an event firing with its Allocation."""
+        self.validate(job)
+        self._states[job.job_id] = JobState.PENDING
+        ev = self.env.event()
+        self._queue.append(job)
+        self._waiters[job.job_id] = ev
+        self._try_schedule()
+        return ev
+
+    # -- lifecycle --------------------------------------------------------------
+    def release(self, allocation: Allocation, failed: bool = False) -> None:
+        """Return an allocation's nodes and mark the job finished."""
+        job_id = allocation.job.job_id
+        if self._states.get(job_id) is not JobState.RUNNING:
+            raise SchedulerError(f"job {job_id} is not running")
+        self._free.update(allocation.node_ids)
+        del self._allocations[job_id]
+        self._states[job_id] = JobState.FAILED if failed else JobState.COMPLETED
+        self._try_schedule()
+
+    def cancel(self, job: JobRequest) -> None:
+        """Remove a pending job from the queue."""
+        if self._states.get(job.job_id) is not JobState.PENDING:
+            raise SchedulerError(f"job {job.job_id} is not pending")
+        self._queue.remove(job)
+        self._states[job.job_id] = JobState.CANCELLED
+        self._waiters.pop(job.job_id)
+
+    def state_of(self, job: JobRequest) -> JobState:
+        try:
+            return self._states[job.job_id]
+        except KeyError:
+            raise SchedulerError(f"unknown job {job.job_id}") from None
+
+    @property
+    def free_nodes(self) -> int:
+        return len(self._free)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    # -- internals ----------------------------------------------------------------
+    def _try_schedule(self) -> None:
+        """Start queued jobs FIFO while the head fits (no backfill)."""
+        while self._queue and self._queue[0].nodes <= len(self._free):
+            job = self._queue.pop(0)
+            node_ids = tuple(sorted(self._free)[: job.nodes])
+            self._free.difference_update(node_ids)
+            alloc = Allocation(job=job, node_ids=node_ids,
+                               granted_at=self.env.now)
+            self._allocations[job.job_id] = alloc
+            self._states[job.job_id] = JobState.RUNNING
+            self._waiters.pop(job.job_id).succeed(alloc)

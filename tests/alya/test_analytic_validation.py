@@ -1,0 +1,96 @@
+"""Validation of the mini-solver against closed-form references."""
+
+import numpy as np
+import pytest
+
+from repro.alya import analytic
+from repro.alya.geometry import ArteryGeometry
+from repro.alya.mesh import StructuredMesh
+from repro.alya.navier_stokes import (
+    BLOOD_DENSITY,
+    BLOOD_KINEMATIC_VISCOSITY,
+    ChannelFlowSolver,
+)
+
+
+@pytest.fixture(scope="module")
+def developed():
+    """A long, well-resolved channel run to a developed state."""
+    geo = ArteryGeometry(length=0.04, radius=0.002)
+    mesh = StructuredMesh(geo, nx=80, ny=24)
+    solver = ChannelFlowSolver(mesh, u_max=0.1)
+    solver.run(1200)
+    return solver
+
+
+def test_analytic_profile_shape():
+    y = np.linspace(0, 0.01, 11)
+    u = analytic.poiseuille_profile(y, half_width=0.005, u_max=1.0)
+    assert u[0] == pytest.approx(0.0)
+    assert u[-1] == pytest.approx(0.0)
+    assert u[5] == pytest.approx(1.0)
+    assert np.all(np.diff(u[:6]) > 0)  # monotone to the centre
+
+
+def test_analytic_flow_rate():
+    assert analytic.poiseuille_flow_rate(0.005, 0.4) == pytest.approx(
+        (2 / 3) * 0.4 * 0.01
+    )
+
+
+def test_analytic_pressure_gradient_sign():
+    g = analytic.poiseuille_pressure_gradient(
+        0.005, 0.4, BLOOD_KINEMATIC_VISCOSITY, BLOOD_DENSITY
+    )
+    assert g < 0  # pressure falls downstream
+
+
+def test_regime_numbers():
+    re = analytic.reynolds_number(0.4, 0.005, BLOOD_KINEMATIC_VISCOSITY)
+    assert 1000 < re < 3000  # laminar-transitional artery regime
+    alpha = analytic.womersley_number(0.005, 1.2, BLOOD_KINEMATIC_VISCOSITY)
+    assert 2 < alpha < 12  # physiological pulsatility (large-artery band)
+
+
+def test_solver_profile_matches_poiseuille(developed):
+    """The outflow-region profile converges to the parabola within a few
+    percent (first-order upwind on a modest grid)."""
+    mesh = developed.mesh
+    col = int(mesh.nx * 0.8)
+    u_num = developed.u[1:-1, col + 1]
+    u_ref = analytic.poiseuille_profile(
+        mesh.y_centers, mesh.geometry.radius, u_num.max()
+    )
+    err = np.abs(u_num - u_ref).max() / u_num.max()
+    assert err < 0.08
+
+
+def test_solver_flow_rate_matches_analytic(developed):
+    """Measured flow rate approaches (2/3) u_max_measured * 2h."""
+    mesh = developed.mesh
+    col = int(mesh.nx * 0.8)
+    u_centre = developed.u[1:-1, col + 1].max()
+    q_num = developed.flow_rate(col)
+    q_ref = analytic.poiseuille_flow_rate(mesh.geometry.radius, u_centre)
+    assert q_num == pytest.approx(q_ref, rel=0.05)
+
+
+def test_solver_pressure_drops_downstream(developed):
+    """Mean pressure decreases along the channel (driving the flow)."""
+    p = developed.p[1:-1, 1:-1]
+    upstream = p[:, 5].mean()
+    downstream = p[:, -5].mean()
+    assert upstream > downstream
+
+
+def test_analytic_validation_errors():
+    with pytest.raises(ValueError):
+        analytic.poiseuille_profile(np.array([0.0]), -1, 1)
+    with pytest.raises(ValueError):
+        analytic.poiseuille_flow_rate(0, 1)
+    with pytest.raises(ValueError):
+        analytic.poiseuille_pressure_gradient(1, 1, 0, 1)
+    with pytest.raises(ValueError):
+        analytic.reynolds_number(1, 1, 0)
+    with pytest.raises(ValueError):
+        analytic.womersley_number(1, -1, 1)

@@ -1,0 +1,92 @@
+"""Tests for the artery geometry and mesh."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alya.geometry import ArteryGeometry
+from repro.alya.mesh import StructuredMesh
+
+
+def test_straight_vessel_constant_width():
+    geo = ArteryGeometry(stenosis_severity=0.0)
+    x = np.linspace(0, geo.length, 50)
+    h = geo.lumen_halfwidth(x)
+    assert np.allclose(h, geo.radius)
+
+
+def test_stenosis_narrows_at_throat():
+    geo = ArteryGeometry(stenosis_severity=0.5)
+    h_throat = geo.lumen_halfwidth(np.array([geo.stenosis_center]))[0]
+    assert h_throat == pytest.approx(geo.radius * 0.5, rel=1e-6)
+    assert geo.throat_halfwidth() == pytest.approx(h_throat)
+    # Away from the bump the vessel is unaffected.
+    h_far = geo.lumen_halfwidth(np.array([0.0]))[0]
+    assert h_far == pytest.approx(geo.radius)
+
+
+def test_stenosis_smooth_edges():
+    geo = ArteryGeometry(stenosis_severity=0.5)
+    edge = geo.stenosis_center - geo.stenosis_length / 2
+    h = geo.lumen_halfwidth(np.array([edge - 1e-9, edge + 1e-6]))
+    assert h[0] == pytest.approx(geo.radius)
+    assert h[1] == pytest.approx(geo.radius, rel=1e-4)
+
+
+def test_inflow_profile_parabolic():
+    geo = ArteryGeometry()
+    y = np.linspace(0, 2 * geo.radius, 101)
+    u = geo.inflow_profile(y, u_max=0.4)
+    assert u[0] == pytest.approx(0.0, abs=1e-12)
+    assert u[-1] == pytest.approx(0.0, abs=1e-12)
+    assert u[50] == pytest.approx(0.4)
+    assert np.all(u >= 0)
+
+
+def test_geometry_validation():
+    with pytest.raises(ValueError):
+        ArteryGeometry(length=0)
+    with pytest.raises(ValueError):
+        ArteryGeometry(stenosis_severity=0.95)
+    with pytest.raises(ValueError):
+        ArteryGeometry(stenosis_length=0)
+
+
+def test_mesh_spacing():
+    mesh = StructuredMesh(ArteryGeometry(length=0.1, radius=0.005), nx=50, ny=10)
+    assert mesh.dx == pytest.approx(0.002)
+    assert mesh.dy == pytest.approx(0.001)
+    assert mesh.n_cells == 500
+
+
+def test_mesh_fluid_mask_straight_vessel_full():
+    mesh = StructuredMesh(ArteryGeometry(), nx=32, ny=8)
+    assert mesh.n_fluid_cells == mesh.n_cells
+
+
+def test_mesh_fluid_mask_stenosis_blocks_cells():
+    geo = ArteryGeometry(stenosis_severity=0.6)
+    mesh = StructuredMesh(geo, nx=64, ny=16)
+    assert mesh.n_fluid_cells < mesh.n_cells
+    # Solid cells hug the walls at the throat, centre stays open.
+    throat_col = int(geo.stenosis_center / mesh.dx)
+    col = mesh.fluid_mask[:, throat_col]
+    assert col[mesh.ny // 2]  # centreline open
+    assert not col[0]  # wall blocked
+    assert not col[-1]
+
+
+def test_mesh_validation():
+    with pytest.raises(ValueError):
+        StructuredMesh(ArteryGeometry(), nx=2, ny=8)
+
+
+@given(sev=st.floats(min_value=0.0, max_value=0.9))
+@settings(max_examples=40, deadline=None)
+def test_property_lumen_never_exceeds_radius(sev):
+    geo = ArteryGeometry(stenosis_severity=sev)
+    x = np.linspace(0, geo.length, 200)
+    h = geo.lumen_halfwidth(x)
+    assert np.all(h <= geo.radius + 1e-12)
+    assert np.all(h >= geo.radius * (1 - sev) - 1e-12)

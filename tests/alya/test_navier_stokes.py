@@ -1,0 +1,167 @@
+"""Numerical validation of the mini Navier-Stokes solver."""
+
+import numpy as np
+import pytest
+
+from repro.alya.geometry import ArteryGeometry
+from repro.alya.mesh import StructuredMesh
+from repro.alya.navier_stokes import ChannelFlowSolver
+from repro.alya import kernels as K
+
+
+@pytest.fixture(scope="module")
+def developed_flow():
+    """A channel run long enough to approach steady state."""
+    mesh = StructuredMesh(ArteryGeometry(), nx=64, ny=16)
+    solver = ChannelFlowSolver(mesh, u_max=0.4)
+    solver.run(300)
+    return solver
+
+
+def test_divergence_driven_down(developed_flow):
+    """Projection enforces incompressibility: the divergence residual
+    after projection is orders of magnitude below the raw transient."""
+    norms = developed_flow.stats.divergence_norms
+    assert norms[-1] < norms[0] / 50
+
+
+def test_mass_conservation(developed_flow):
+    """Inflow flux equals outflow flux at steady state."""
+    q_in = developed_flow.flow_rate(1)
+    q_out = developed_flow.flow_rate(developed_flow.mesh.nx - 2)
+    assert q_out == pytest.approx(q_in, rel=0.02)
+
+
+def test_centerline_velocity_bounded(developed_flow):
+    u_c = developed_flow.centerline_velocity()
+    assert np.all(u_c > 0)
+    assert u_c.max() < 0.6  # no runaway acceleration in a straight vessel
+
+
+def test_no_slip_walls(developed_flow):
+    u = developed_flow.u
+    # Ghost-cell no-slip: wall-face velocity (average of ghost+first) ~ 0.
+    wall_u_top = 0.5 * (u[-1, 1:-1] + u[-2, 1:-1])
+    wall_u_bot = 0.5 * (u[0, 1:-1] + u[1, 1:-1])
+    assert np.abs(wall_u_top).max() < 1e-10
+    assert np.abs(wall_u_bot).max() < 1e-10
+
+
+def test_cg_converges(developed_flow):
+    iters = developed_flow.stats.cg_iterations
+    assert all(i < developed_flow.cg_max_iter for i in iters)
+    assert developed_flow.stats.mean_cg_iterations > 1
+
+
+def test_flops_accumulate(developed_flow):
+    assert developed_flow.stats.flops > 0
+
+
+def test_stenosis_accelerates_flow():
+    """Continuity: the throat must carry the same flux through a smaller
+    area, so the peak velocity rises."""
+    plain = ChannelFlowSolver(StructuredMesh(ArteryGeometry(), nx=64, ny=16))
+    sten = ChannelFlowSolver(
+        StructuredMesh(ArteryGeometry(stenosis_severity=0.4), nx=64, ny=16)
+    )
+    plain.run(250)
+    sten.run(250)
+    assert sten.centerline_velocity().max() > 1.15 * plain.centerline_velocity().max()
+
+
+def test_dt_respects_cfl():
+    mesh = StructuredMesh(ArteryGeometry(), nx=64, ny=16)
+    s = ChannelFlowSolver(mesh, u_max=0.4, cfl=0.2)
+    assert s.dt <= 0.2 * min(mesh.dx, mesh.dy) / 0.4 + 1e-15
+    faster = ChannelFlowSolver(mesh, u_max=4.0, cfl=0.2)
+    assert faster.dt < s.dt
+
+
+def test_ramp_scales_inflow():
+    mesh = StructuredMesh(ArteryGeometry(), nx=32, ny=8)
+    s = ChannelFlowSolver(mesh, ramp_time=1.0)
+    assert s._ramp() == pytest.approx(0.0)
+    s.time = 0.5
+    assert s._ramp() == pytest.approx(0.5)
+    s.time = 2.0
+    assert s._ramp() == 1.0
+
+
+def test_wall_motion_validation():
+    mesh = StructuredMesh(ArteryGeometry(), nx=32, ny=8)
+    s = ChannelFlowSolver(mesh)
+    with pytest.raises(ValueError):
+        s.set_wall_motion(top=np.zeros(5))
+    s.set_wall_motion(top=np.full(32, 0.001))
+    assert s.wall_velocity_top[0] == 0.001
+
+
+def test_solver_validation():
+    mesh = StructuredMesh(ArteryGeometry(), nx=32, ny=8)
+    with pytest.raises(ValueError):
+        ChannelFlowSolver(mesh, u_max=0)
+    with pytest.raises(ValueError):
+        ChannelFlowSolver(mesh, viscosity=0)
+    s = ChannelFlowSolver(mesh)
+    with pytest.raises(ValueError):
+        s.run(0)
+    with pytest.raises(ValueError):
+        s.flow_rate(99)
+
+
+# ------------------------------- kernels -------------------------------------
+
+
+def test_laplacian_of_quadratic():
+    """∇²(x² + y²) = 4, exactly for the 5-point stencil."""
+    ny, nx = 10, 12
+    dx = dy = 0.1
+    f = K.alloc_field(ny, nx)
+    ys, xs = np.mgrid[0 : ny + 2, 0 : nx + 2]
+    f[:, :] = (xs * dx) ** 2 + (ys * dy) ** 2
+    lap = K.laplacian(f, dx, dy)
+    assert np.allclose(lap, 4.0)
+
+
+def test_divergence_of_linear_field():
+    """div(x, y) = 2 for central differences."""
+    ny, nx = 8, 8
+    dx = dy = 0.5
+    u = K.alloc_field(ny, nx)
+    v = K.alloc_field(ny, nx)
+    ys, xs = np.mgrid[0 : ny + 2, 0 : nx + 2]
+    u[:, :] = xs * dx
+    v[:, :] = ys * dy
+    assert np.allclose(K.divergence(u, v, dx, dy), 2.0)
+
+
+def test_gradient_of_linear_field():
+    ny, nx = 8, 8
+    dx, dy = 0.25, 0.5
+    p = K.alloc_field(ny, nx)
+    ys, xs = np.mgrid[0 : ny + 2, 0 : nx + 2]
+    p[:, :] = 3.0 * xs * dx - 2.0 * ys * dy
+    dpdx, dpdy = K.gradient(p, dx, dy)
+    assert np.allclose(dpdx, 3.0)
+    assert np.allclose(dpdy, -2.0)
+
+
+def test_upwind_advection_uniform_field_is_zero():
+    """(u·∇)c = 0 when c is constant."""
+    ny, nx = 8, 8
+    u = K.alloc_field(ny, nx) + 1.0
+    v = K.alloc_field(ny, nx) - 0.5
+    c = K.alloc_field(ny, nx) + 7.0
+    assert np.allclose(K.upwind_advect(u, v, c, 0.1, 0.1), 0.0)
+
+
+def test_upwind_advection_linear_field():
+    """(u·∇)(x) = u for constant u > 0 (backward difference exact)."""
+    ny, nx = 8, 8
+    dx = dy = 0.1
+    u = K.alloc_field(ny, nx) + 2.0
+    v = K.alloc_field(ny, nx)
+    c = K.alloc_field(ny, nx)
+    ys, xs = np.mgrid[0 : ny + 2, 0 : nx + 2]
+    c[:, :] = xs * dx
+    assert np.allclose(K.upwind_advect(u, v, c, dx, dy), 2.0)

@@ -1,0 +1,106 @@
+"""Tests for domain decomposition."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alya.geometry import ArteryGeometry
+from repro.alya.mesh import StructuredMesh
+from repro.alya.partition import PartitionInfo, graph_partition, slab_partition
+
+
+def make_mesh(nx=64, ny=16, severity=0.0):
+    return StructuredMesh(ArteryGeometry(stenosis_severity=severity), nx=nx, ny=ny)
+
+
+def test_slab_partition_covers_all_cells():
+    mesh = make_mesh()
+    for p in (1, 2, 4, 7, 16):
+        info = slab_partition(mesh, p)
+        assert sum(info.cells_per_part) == mesh.n_fluid_cells
+
+
+def test_slab_partition_neighbor_chain():
+    mesh = make_mesh()
+    info = slab_partition(mesh, 4)
+    assert info.neighbors[0] == (1,)
+    assert info.neighbors[1] == (0, 2)
+    assert info.neighbors[3] == (2,)
+
+
+def test_slab_partition_single_part():
+    mesh = make_mesh()
+    info = slab_partition(mesh, 1)
+    assert info.neighbors == ((),)
+    assert info.total_halo_cells() == 0
+
+
+def test_slab_halo_is_one_column():
+    mesh = make_mesh()
+    info = slab_partition(mesh, 4)
+    assert info.halo_cells[1] == (mesh.ny, mesh.ny)
+
+
+def test_slab_balance_good_for_straight_vessel():
+    mesh = make_mesh()
+    info = slab_partition(mesh, 8)
+    assert info.imbalance <= 1.01
+
+
+def test_slab_imbalance_with_stenosis():
+    """A stenosis removes cells from the throat slabs: imbalance rises."""
+    plain = slab_partition(make_mesh(), 8)
+    sten = slab_partition(make_mesh(severity=0.6), 8)
+    assert sten.imbalance > plain.imbalance
+
+
+def test_slab_validation():
+    mesh = make_mesh()
+    with pytest.raises(ValueError):
+        slab_partition(mesh, 0)
+    with pytest.raises(ValueError):
+        slab_partition(mesh, mesh.nx + 1)
+
+
+def test_partition_info_validation():
+    with pytest.raises(ValueError):
+        PartitionInfo(
+            n_parts=2, cells_per_part=(1,), neighbors=((), ()), halo_cells=((), ())
+        )
+
+
+def test_graph_partition_covers_all_cells():
+    mesh = make_mesh(nx=32, ny=8)
+    info = graph_partition(mesh, 4)
+    assert sum(info.cells_per_part) == mesh.n_fluid_cells
+    assert info.n_parts == 4
+
+
+def test_graph_partition_reasonable_balance():
+    mesh = make_mesh(nx=32, ny=8)
+    info = graph_partition(mesh, 4)
+    assert info.imbalance < 1.4
+
+
+def test_graph_partition_symmetric_halos():
+    mesh = make_mesh(nx=32, ny=8)
+    info = graph_partition(mesh, 4)
+    for p, nbrs in enumerate(info.neighbors):
+        for idx, q in enumerate(nbrs):
+            assert p in info.neighbors[q]
+            back = info.neighbors[q].index(p)
+            assert info.halo_cells[p][idx] == info.halo_cells[q][back]
+
+
+@given(p=st.integers(min_value=1, max_value=16))
+@settings(max_examples=30, deadline=None)
+def test_property_slab_partition_invariants(p):
+    mesh = make_mesh()
+    info = slab_partition(mesh, p)
+    assert sum(info.cells_per_part) == mesh.n_fluid_cells
+    # Neighbour symmetry.
+    for a, nbrs in enumerate(info.neighbors):
+        for b in nbrs:
+            assert a in info.neighbors[b]
+    # Imbalance >= 1 by definition.
+    assert info.imbalance >= 1.0

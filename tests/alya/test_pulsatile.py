@@ -1,0 +1,73 @@
+"""Tests for the pulsatile (cardiac-cycle) inflow extension."""
+
+import numpy as np
+import pytest
+
+from repro.alya.geometry import ArteryGeometry
+from repro.alya.mesh import StructuredMesh
+from repro.alya.navier_stokes import ChannelFlowSolver
+
+
+def make_solver(**kw):
+    mesh = StructuredMesh(ArteryGeometry(length=0.02, radius=0.002), nx=48, ny=12)
+    return ChannelFlowSolver(mesh, u_max=0.1, **kw)
+
+
+def test_steady_flow_when_frequency_zero():
+    s = make_solver()
+    assert s._ramp() == 1.0
+    s.time = 1.234
+    assert s._ramp() == 1.0
+
+
+def test_pulse_modulates_ramp():
+    s = make_solver(pulse_frequency=1.0, pulse_amplitude=0.5)
+    s.time = 0.25  # sin peak
+    assert s._ramp() == pytest.approx(1.5)
+    s.time = 0.75  # sin trough
+    assert s._ramp() == pytest.approx(0.5)
+
+
+def test_pulse_combined_with_ramp():
+    s = make_solver(ramp_time=1.0, pulse_frequency=1.0, pulse_amplitude=0.5)
+    s.time = 0.25
+    # half-cosine ramp at 0.25 is 0.1464..., times the pulse factor 1.5
+    expected = 0.5 * (1 - np.cos(np.pi * 0.25)) * 1.5
+    assert s._ramp() == pytest.approx(expected)
+
+
+def test_flow_rate_oscillates_at_imposed_frequency():
+    """The inflow flux follows the imposed waveform."""
+    s = make_solver(pulse_frequency=5.0, pulse_amplitude=0.4)
+    # Period of 0.2 s; dt is small, so sample the inflow flux per step.
+    period_steps = max(1, int(round(0.2 / s.dt)))
+    rates = []
+    for _ in range(2 * period_steps):
+        s.step()
+        rates.append(s.flow_rate(0))
+    rates = np.asarray(rates)
+    # Oscillation spans roughly +-40% around the mean.
+    mean = rates.mean()
+    assert rates.max() > 1.2 * mean
+    assert rates.min() < 0.8 * mean
+    # Autocorrelation peaks near one period.
+    x = rates - mean
+    ac = np.correlate(x, x, mode="full")[len(x) - 1 :]
+    peak = 1 + int(np.argmax(ac[period_steps // 2 : 3 * period_steps // 2]))
+    assert abs((peak + period_steps // 2 - 1) - period_steps) <= max(
+        2, period_steps // 5
+    )
+
+
+def test_pulsatile_solver_remains_stable():
+    s = make_solver(pulse_frequency=2.0, pulse_amplitude=0.6)
+    s.run(300)
+    assert np.isfinite(s.u).all()
+    assert s.stats.divergence_norms[-1] < 10.0
+
+
+def test_pulse_validation():
+    with pytest.raises(ValueError):
+        make_solver(pulse_frequency=-1)
+    with pytest.raises(ValueError):
+        make_solver(pulse_amplitude=1.0)

@@ -1,0 +1,147 @@
+"""Tests for the elastic wall and the coupled FSI solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alya.fsi import FsiCoupledSolver
+from repro.alya.geometry import ArteryGeometry
+from repro.alya.mesh import StructuredMesh
+from repro.alya.solid import ElasticWall
+
+
+def test_wall_static_equilibrium():
+    """Under constant load, η converges to (p − p_ext)/k."""
+    wall = ElasticWall(n_stations=10)
+    p = np.full(10, 500.0)
+    for _ in range(20000):
+        wall.step(p, dt=1e-4)
+    assert np.allclose(wall.displacement, wall.equilibrium_displacement(p),
+                       rtol=1e-3)
+    assert np.abs(wall.velocity).max() < 1e-6
+
+
+def test_wall_stable_at_large_dt():
+    """The implicit integrator must not blow up even for dt >> 2m/c."""
+    wall = ElasticWall(n_stations=4)
+    p = np.full(4, 1000.0)
+    for _ in range(1000):
+        wall.step(p, dt=0.1)  # dt*c/m = 833 — explicit Euler would explode
+    assert np.isfinite(wall.displacement).all()
+    assert np.allclose(wall.displacement, wall.equilibrium_displacement(p),
+                       rtol=1e-3)
+
+
+def test_wall_energy_decays_without_load():
+    wall = ElasticWall(n_stations=4)
+    wall.displacement[:] = 1e-4  # stretched, released
+    e0 = wall.energy()
+    for _ in range(500):
+        wall.step(np.zeros(4), dt=1e-4)
+    assert wall.energy() < e0 / 10
+
+
+def test_wall_external_pressure_offsets_load():
+    wall = ElasticWall(n_stations=4, external_pressure=200.0)
+    p = np.full(4, 200.0)
+    for _ in range(5000):
+        wall.step(p, dt=1e-4)
+    assert np.abs(wall.displacement).max() < 1e-9  # balanced: no deflection
+
+
+def test_wall_validation():
+    with pytest.raises(ValueError):
+        ElasticWall(n_stations=0)
+    with pytest.raises(ValueError):
+        ElasticWall(n_stations=4, mass=0)
+    wall = ElasticWall(n_stations=4)
+    with pytest.raises(ValueError):
+        wall.step(np.zeros(3), dt=1e-4)
+    with pytest.raises(ValueError):
+        wall.step(np.zeros(4), dt=0)
+
+
+def test_wall_natural_frequency():
+    wall = ElasticWall(n_stations=1, mass=4.0, stiffness=16.0)
+    assert wall.natural_frequency() == pytest.approx(2.0)
+
+
+@given(
+    k=st.floats(min_value=1e5, max_value=1e8),
+    p=st.floats(min_value=10.0, max_value=1e4),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_equilibrium_matches_hookes_law(k, p):
+    wall = ElasticWall(n_stations=1, stiffness=k)
+    assert wall.equilibrium_displacement(np.array([p]))[0] == pytest.approx(p / k)
+
+
+# --------------------------------- FSI ---------------------------------------
+
+
+@pytest.fixture(scope="module")
+def coupled_run():
+    mesh = StructuredMesh(ArteryGeometry(), nx=64, ny=16)
+    fsi = FsiCoupledSolver(mesh)
+    fsi.run(350)
+    return fsi
+
+
+def test_fsi_remains_bounded(coupled_run):
+    """The coupled system must not exhibit the added-mass blow-up."""
+    fsi = coupled_run
+    assert np.isfinite(fsi.wall_top.displacement).all()
+    assert fsi.stats.max_displacement < 0.25 * fsi.fluid.mesh.geometry.radius
+
+
+def test_fsi_wall_moves(coupled_run):
+    """The wall actually responds to the flow (this is an FSI case)."""
+    assert coupled_run.stats.max_displacement > 1e-9
+
+
+def test_fsi_interface_residual_converges(coupled_run):
+    res = coupled_run.stats.interface_residuals
+    assert res[-1] < 1e-3
+    assert res[-1] < max(res[:50])
+
+
+def test_fsi_displacement_tracks_equilibrium(coupled_run):
+    """Late in the run the wall sits near the quasi-static solution."""
+    fsi = coupled_run
+    eq = fsi.wall_top.equilibrium_displacement(fsi._load_top)
+    assert np.allclose(fsi.wall_top.displacement, eq, atol=5e-7)
+
+
+def test_fsi_fluid_stays_incompressible(coupled_run):
+    assert coupled_run.fluid.stats.divergence_norms[-1] < 1.0
+
+
+def test_fsi_transpiration_capped():
+    mesh = StructuredMesh(ArteryGeometry(), nx=32, ny=8)
+    fsi = FsiCoupledSolver(mesh, transpiration_cap=0.01)
+    fsi.run(50)
+    cap = 0.01 * 0.4
+    assert np.abs(fsi.fluid.wall_velocity_top).max() <= cap + 1e-12
+
+
+def test_fsi_subiterations_run():
+    mesh = StructuredMesh(ArteryGeometry(), nx=32, ny=8)
+    fsi = FsiCoupledSolver(mesh, subiterations=3)
+    fsi.run(5)
+    assert fsi.stats.coupling_iterations == [3] * 5
+
+
+def test_fsi_validation():
+    mesh = StructuredMesh(ArteryGeometry(), nx=32, ny=8)
+    with pytest.raises(ValueError):
+        FsiCoupledSolver(mesh, subiterations=0)
+    with pytest.raises(ValueError):
+        FsiCoupledSolver(mesh, relaxation=0)
+    with pytest.raises(ValueError):
+        FsiCoupledSolver(mesh, load_smoothing=2)
+    with pytest.raises(ValueError):
+        FsiCoupledSolver(mesh, transpiration_cap=0)
+    fsi = FsiCoupledSolver(mesh)
+    with pytest.raises(ValueError):
+        fsi.run(0)

@@ -1,0 +1,167 @@
+"""Tests for the rootless Charliecloud runtime (extension)."""
+
+import dataclasses
+
+import pytest
+
+from repro.containers import (
+    CharliecloudRuntime,
+    ImageBuilder,
+    Registry,
+    ShifterGateway,
+    SingularityRuntime,
+)
+from repro.containers.recipes import BuildTechnique, alya_recipe
+from repro.des import Environment
+from repro.hardware import catalog
+from repro.hardware.cluster import Cluster
+from repro.hardware.network import NetworkPath
+from repro.oskernel.namespaces import NamespaceKind
+from repro.oskernel.nodeos import NodeOS
+from repro.oskernel.processes import Credentials, ProcessError
+
+
+@pytest.fixture(scope="module")
+def cluster_spec():
+    """A Lenox-like site that additionally installed Charliecloud."""
+    return dataclasses.replace(
+        catalog.LENOX,
+        name="Lenox+ch",
+        installed_runtimes={
+            **catalog.LENOX.installed_runtimes,
+            "charliecloud": "0.9.6",
+        },
+    )
+
+
+def deploy(cluster_spec, technique=BuildTechnique.SELF_CONTAINED):
+    image = ImageBuilder().build_sif(alya_recipe(technique)).image
+    env = Environment()
+    cluster = Cluster(env, cluster_spec, num_nodes=2)
+    node_os = [NodeOS(cluster_spec, i) for i in range(2)]
+    rt = CharliecloudRuntime("0.9.6")
+    holder = {}
+
+    def main():
+        holder["r"] = yield env.process(
+            rt.deploy(env, cluster, node_os, image)
+        )
+
+    env.process(main())
+    env.run()
+    return holder["r"], node_os
+
+
+def test_rootless_deployment(cluster_spec):
+    (containers, report), node_os = deploy(cluster_spec)
+    assert report.total_seconds > 0
+    assert report.step("namespaces") > 0
+    assert report.step("fuse_mount") > 0
+    ctr = containers[0]
+    # USER namespace unshared; NET shared with the host.
+    host = node_os[0].namespaces
+    assert not ctr.namespaces.shares(host, NamespaceKind.USER)
+    assert ctr.namespaces.shares(host, NamespaceKind.NET)
+    assert ctr.mount_table.exists("/var/tmp/charliecloud/opt/alya/bin/alya")
+
+
+def test_no_privilege_anywhere(cluster_spec):
+    """The kernel rule: USER+MOUNT+PID unshared together needs no euid 0."""
+    (containers, _), node_os = deploy(cluster_spec)
+    # Find the container process: it must never have been privileged.
+    procs = node_os[0].processes.processes.values()
+    container_procs = [p for p in procs if p.argv[0].endswith("alya")]
+    assert container_procs
+    assert all(not p.creds.is_privileged for p in container_procs)
+
+
+def test_unprivileged_mount_unshare_requires_userns():
+    """Without the simultaneous USER namespace the fork is still denied."""
+    from repro.oskernel.mounts import MountTable
+    from repro.oskernel.namespaces import HPC_KINDS, NamespaceSet
+    from repro.oskernel.processes import ProcessTable
+    from repro.oskernel.vfs import FileSystem
+
+    table = ProcessTable(NamespaceSet.host(), MountTable(FileSystem()))
+    user = table.fork(table.init_pid, argv=("sh",), creds=Credentials.user(1000))
+    with pytest.raises(ProcessError):
+        table.fork(user.global_pid, argv=("ctr",), unshare=HPC_KINDS)
+    # Adding USER makes the same request legal.
+    child = table.fork(
+        user.global_pid,
+        argv=("ctr",),
+        unshare=HPC_KINDS | {NamespaceKind.USER},
+    )
+    assert not child.creds.is_privileged
+
+
+def test_network_path_follows_technique(cluster_spec):
+    rt = CharliecloudRuntime()
+    ss = ImageBuilder().build_sif(
+        alya_recipe(BuildTechnique.SYSTEM_SPECIFIC)
+    ).image
+    sc = ImageBuilder().build_sif(
+        alya_recipe(BuildTechnique.SELF_CONTAINED)
+    ).image
+    fabric = catalog.MARENOSTRUM4.fabric
+    assert rt.network_path(ss, fabric) is NetworkPath.HOST_NATIVE
+    assert rt.network_path(sc, fabric) is NetworkPath.TCP_FALLBACK
+
+
+def test_charliecloud_startup_cost_class(cluster_spec):
+    """Rootless FUSE mounting is slower than Singularity's kernel loop
+    mount but in the same sub-second class — nothing like Docker."""
+    (_, ch_report), _ = deploy(cluster_spec)
+    image = ImageBuilder().build_sif(
+        alya_recipe(BuildTechnique.SELF_CONTAINED)
+    ).image
+    env = Environment()
+    cluster = Cluster(env, catalog.LENOX, num_nodes=2)
+    node_os = [NodeOS(catalog.LENOX, i) for i in range(2)]
+    rt = SingularityRuntime()
+    holder = {}
+
+    def main():
+        holder["r"] = yield env.process(rt.deploy(env, cluster, node_os, image))
+
+    env.process(main())
+    env.run()
+    _, sing_report = holder["r"]
+    assert sing_report.total_seconds < ch_report.total_seconds < 2.0
+
+
+def test_rejects_oci(cluster_spec):
+    oci = ImageBuilder().build_oci(
+        alya_recipe(BuildTechnique.SELF_CONTAINED)
+    ).image
+    env = Environment()
+    cluster = Cluster(env, cluster_spec, num_nodes=1)
+    rt = CharliecloudRuntime()
+    with pytest.raises(TypeError):
+        env.process(
+            rt.deploy(env, cluster, [NodeOS(cluster_spec, 0)], oci)
+        )
+        env.run()
+
+
+def test_runner_supports_charliecloud(cluster_spec):
+    from repro.alya.workmodel import AlyaWorkModel, CaseKind
+    from repro.core.experiment import EndpointGranularity, ExperimentSpec
+    from repro.core.runner import ExperimentRunner
+
+    spec = ExperimentSpec(
+        name="ch",
+        cluster=cluster_spec,
+        runtime_name="charliecloud",
+        technique=BuildTechnique.SELF_CONTAINED,
+        workmodel=AlyaWorkModel(case=CaseKind.CFD, n_cells=500_000,
+                                cg_iters_per_step=5, nominal_timesteps=100),
+        n_nodes=2,
+        ranks_per_node=4,
+        threads_per_rank=1,
+        sim_steps=1,
+        granularity=EndpointGranularity.RANK,
+    )
+    result = ExperimentRunner().run(spec)
+    assert result.avg_step_seconds > 0
+    assert result.runtime_name == "charliecloud"

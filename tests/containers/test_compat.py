@@ -1,0 +1,90 @@
+"""Tests for compatibility rules and network-path selection."""
+
+import pytest
+
+from repro.containers.builder import ImageBuilder
+from repro.containers.compat import (
+    CompatibilityError,
+    IncompatibleArchitectureError,
+    RuntimeNotInstalledError,
+    check_admin_for_daemon,
+    check_architecture,
+    check_runtime_installed,
+    network_path_for,
+)
+from repro.containers.recipes import BuildTechnique, alya_recipe
+from repro.hardware import catalog
+from repro.hardware.cpu import Architecture
+from repro.hardware.network import NetworkPath
+
+
+def build_sif(arch=Architecture.X86_64, technique=BuildTechnique.SELF_CONTAINED):
+    return ImageBuilder().build_sif(alya_recipe(technique, arch)).image
+
+
+def test_arch_match_passes():
+    check_architecture(build_sif(Architecture.X86_64), catalog.MARENOSTRUM4)
+
+
+def test_arch_mismatch_raises():
+    """x86 image on Power9 / Armv8: exec format error — images must be
+    rebuilt per ISA (the §B.2 premise)."""
+    img = build_sif(Architecture.X86_64)
+    with pytest.raises(IncompatibleArchitectureError):
+        check_architecture(img, catalog.CTE_POWER)
+    with pytest.raises(IncompatibleArchitectureError):
+        check_architecture(img, catalog.THUNDERX)
+    check_architecture(build_sif(Architecture.PPC64LE), catalog.CTE_POWER)
+    check_architecture(build_sif(Architecture.AARCH64), catalog.THUNDERX)
+
+
+def test_runtime_installed_checks():
+    check_runtime_installed("singularity", catalog.MARENOSTRUM4)
+    check_runtime_installed("bare-metal", catalog.MARENOSTRUM4)
+    with pytest.raises(RuntimeNotInstalledError):
+        check_runtime_installed("docker", catalog.MARENOSTRUM4)
+    with pytest.raises(RuntimeNotInstalledError):
+        check_runtime_installed("shifter", catalog.CTE_POWER)
+
+
+def test_docker_needs_admin():
+    check_admin_for_daemon("docker", catalog.LENOX)
+    with pytest.raises(CompatibilityError):
+        check_admin_for_daemon("docker", catalog.MARENOSTRUM4)
+    check_admin_for_daemon("singularity", catalog.MARENOSTRUM4)
+
+
+def test_network_path_bare_metal_native():
+    assert (
+        network_path_for("bare-metal", None, catalog.MARENOSTRUM4.fabric)
+        is NetworkPath.HOST_NATIVE
+    )
+
+
+def test_network_path_docker_always_bridge():
+    for spec in (catalog.LENOX, catalog.MARENOSTRUM4):
+        assert (
+            network_path_for("docker", BuildTechnique.SELF_CONTAINED, spec.fabric)
+            is NetworkPath.BRIDGE_NAT
+        )
+
+
+def test_network_path_singularity_by_technique():
+    fabric = catalog.MARENOSTRUM4.fabric
+    assert (
+        network_path_for("singularity", BuildTechnique.SYSTEM_SPECIFIC, fabric)
+        is NetworkPath.HOST_NATIVE
+    )
+    assert (
+        network_path_for("singularity", BuildTechnique.SELF_CONTAINED, fabric)
+        is NetworkPath.TCP_FALLBACK
+    )
+    assert (
+        network_path_for("shifter", BuildTechnique.SYSTEM_SPECIFIC, fabric)
+        is NetworkPath.HOST_NATIVE
+    )
+
+
+def test_network_path_unknown_runtime():
+    with pytest.raises(CompatibilityError):
+        network_path_for("podman", None, catalog.LENOX.fabric)

@@ -1,0 +1,118 @@
+"""Tests for container teardown (undeploy)."""
+
+import pytest
+
+from repro.containers import (
+    BareMetalRuntime,
+    DockerRuntime,
+    ImageBuilder,
+    Registry,
+    SingularityRuntime,
+)
+from repro.containers.recipes import BuildTechnique, alya_recipe
+from repro.des import Environment
+from repro.hardware import catalog
+from repro.hardware.cluster import Cluster
+from repro.oskernel.nodeos import NodeOS
+
+
+def deployed(runtime, image_kind):
+    env = Environment()
+    cluster = Cluster(env, catalog.LENOX, num_nodes=1)
+    node_os = [NodeOS(catalog.LENOX, 0)]
+    registry = Registry(env)
+    image = None
+    if image_kind == "sif":
+        image = ImageBuilder().build_sif(
+            alya_recipe(BuildTechnique.SELF_CONTAINED)
+        ).image
+    elif image_kind == "oci":
+        image = ImageBuilder().build_oci(
+            alya_recipe(BuildTechnique.SELF_CONTAINED)
+        ).image
+        registry.push(image)
+    holder = {}
+
+    def main():
+        holder["r"] = yield env.process(
+            runtime.deploy(env, cluster, node_os, image, registry=registry)
+        )
+
+    env.process(main())
+    env.run()
+    containers, _ = holder["r"]
+    return env, containers[0], node_os[0]
+
+
+def undeploy(env, runtime, container, node_os):
+    holder = {}
+
+    def main():
+        holder["t"] = yield env.process(
+            runtime.undeploy(env, container, node_os)
+        )
+
+    env.process(main())
+    env.run()
+    return holder["t"]
+
+
+def test_singularity_teardown_unmounts():
+    rt = SingularityRuntime()
+    env, ctr, os_ = deployed(rt, "sif")
+    path = "/var/singularity/mnt/opt/alya/bin/alya"
+    assert ctr.mount_table.exists(path)
+    spent = undeploy(env, rt, ctr, os_)
+    assert not ctr.mount_table.exists(path)
+    assert not ctr.mount_table.mounts_at(ctr.root_path)
+    assert spent == pytest.approx(rt.teardown_cost)
+
+
+def test_docker_teardown_removes_cgroup_and_overlay():
+    rt = DockerRuntime()
+    env, ctr, os_ = deployed(rt, "oci")
+    cgroup_path = ctr.cgroup.path()
+    assert os_.cgroups.lookup(cgroup_path) is ctr.cgroup
+    spent = undeploy(env, rt, ctr, os_)
+    assert ctr.cgroup is None
+    with pytest.raises(KeyError):
+        os_.cgroups.lookup(cgroup_path)
+    assert not ctr.mount_table.exists("/var/lib/docker/merged/opt")
+    assert spent == pytest.approx(rt.teardown_cost)
+
+
+def test_bare_metal_teardown_is_noop():
+    rt = BareMetalRuntime()
+    env, ctr, os_ = deployed(rt, None)
+    host_mounts_before = len(ctr.mount_table.mounts)
+    spent = undeploy(env, rt, ctr, os_)
+    assert len(ctr.mount_table.mounts) == host_mounts_before
+    assert spent >= 0
+
+
+def test_teardown_then_redeploy_same_node():
+    """Deploy → undeploy → deploy again on the same node works (cgroup
+    name free again, image cache warm)."""
+    rt = DockerRuntime()
+    env = Environment()
+    cluster = Cluster(env, catalog.LENOX, num_nodes=1)
+    node_os = [NodeOS(catalog.LENOX, 0)]
+    registry = Registry(env)
+    image = ImageBuilder().build_oci(
+        alya_recipe(BuildTechnique.SELF_CONTAINED)
+    ).image
+    registry.push(image)
+    reports = []
+
+    def main():
+        for _ in range(2):
+            containers, rep = yield env.process(
+                rt.deploy(env, cluster, node_os, image, registry=registry)
+            )
+            reports.append(rep)
+            yield env.process(rt.undeploy(env, containers[0], node_os[0]))
+
+    env.process(main())
+    env.run()
+    assert reports[1].step("pull") == 0  # cache survived the teardown
+    assert reports[1].total_seconds < reports[0].total_seconds

@@ -1,0 +1,141 @@
+"""Unit tests for the shape-check logic on synthetic outcomes (no sims)."""
+
+import pytest
+
+from repro.core.metrics import ExperimentResult
+from repro.core.report import check_deployment, check_fig1, check_fig2, check_fig3
+from repro.core.study import ScalabilityOutcome, SolutionsOutcome
+
+
+def result(nodes=4, elapsed=100.0, deploy=None):
+    return ExperimentResult(
+        spec_name="s", runtime_name="r", cluster_name="c",
+        n_nodes=nodes, total_ranks=nodes, threads_per_rank=1,
+        avg_step_seconds=elapsed / 100.0, elapsed_seconds=elapsed,
+    )
+
+
+def solutions(times: dict) -> SolutionsOutcome:
+    configs = ((8, 14), (112, 1))
+    runtimes = ("bare-metal", "singularity", "shifter", "docker")
+    results = {
+        (rt, cfg): result(elapsed=times[rt][i])
+        for rt in runtimes
+        for i, cfg in enumerate(configs)
+    }
+    return SolutionsOutcome(results=results, runtimes=runtimes, configs=configs)
+
+
+def test_check_fig1_passes_on_paper_shape():
+    out = solutions({
+        "bare-metal": [100, 200],
+        "singularity": [103, 208],
+        "shifter": [104, 210],
+        "docker": [130, 520],
+    })
+    verdicts = check_fig1(out)
+    assert all(verdicts.values()), verdicts
+
+
+def test_check_fig1_fails_when_singularity_diverges():
+    out = solutions({
+        "bare-metal": [100, 200],
+        "singularity": [150, 300],  # 50% off: not "close to bare-metal"
+        "shifter": [104, 210],
+        "docker": [130, 520],
+    })
+    assert not check_fig1(out)["singularity_tracks_bare_metal"]
+
+
+def test_check_fig1_fails_when_docker_does_not_degrade():
+    out = solutions({
+        "bare-metal": [100, 200],
+        "singularity": [103, 208],
+        "shifter": [104, 210],
+        "docker": [104, 212],  # docker fine?! not the paper's world
+    })
+    verdicts = check_fig1(out)
+    assert not verdicts["docker_worst_at_112x1"]
+
+
+def fig2_series(bare, ss, sc):
+    nodes = [2, 8, 16]
+    return {
+        "bare-metal": {n: result(n, t) for n, t in zip(nodes, bare)},
+        "singularity system-specific": {
+            n: result(n, t) for n, t in zip(nodes, ss)
+        },
+        "singularity self-contained": {
+            n: result(n, t) for n, t in zip(nodes, sc)
+        },
+    }
+
+
+def test_check_fig2_passes_on_paper_shape():
+    fig2 = fig2_series(
+        bare=[80, 20, 10], ss=[80.5, 20.1, 10.05], sc=[95, 32, 20]
+    )
+    assert all(check_fig2(fig2).values())
+
+
+def test_check_fig2_fails_when_self_contained_equal():
+    fig2 = fig2_series(bare=[80, 20, 10], ss=[80, 20, 10], sc=[81, 20.5, 10.2])
+    verdicts = check_fig2(fig2)
+    assert not verdicts["self_contained_slower_everywhere"]
+
+
+def scalability(bare, ss, sc) -> ScalabilityOutcome:
+    nodes = [4, 32, 64, 256]
+    return ScalabilityOutcome(
+        results={
+            "bare-metal": {n: result(n, t) for n, t in zip(nodes, bare)},
+            "singularity system-specific": {
+                n: result(n, t) for n, t in zip(nodes, ss)
+            },
+            "singularity self-contained": {
+                n: result(n, t) for n, t in zip(nodes, sc)
+            },
+        },
+        base_nodes=4,
+    )
+
+
+def test_check_fig3_passes_on_paper_shape():
+    # speedups: bare 1, 7, 13, 40; sc flat after 32.
+    out = scalability(
+        bare=[1000, 143, 77, 25],
+        ss=[1000, 143, 77, 25.2],
+        sc=[1100, 340, 330, 350],
+    )
+    verdicts = check_fig3(out)
+    assert all(verdicts.values()), verdicts
+
+
+def test_check_fig3_fails_when_self_contained_keeps_scaling():
+    out = scalability(
+        bare=[1000, 143, 77, 25],
+        ss=[1000, 143, 77, 25.2],
+        sc=[1100, 200, 110, 40],  # keeps scaling
+    )
+    assert not check_fig3(out)["self_contained_stops_scaling_at_32"]
+
+
+def test_check_deployment_orderings():
+    rows = [
+        {"runtime": "bare-metal", "deployment_seconds": 0.0,
+         "image_size_mb": 0, "image_transfer_mb": 0, "execution_seconds": 1},
+        {"runtime": "singularity", "deployment_seconds": 0.1,
+         "image_size_mb": 490, "image_transfer_mb": 490,
+         "execution_seconds": 1},
+        {"runtime": "shifter", "deployment_seconds": 7.0,
+         "image_size_mb": 1100, "image_transfer_mb": 460,
+         "execution_seconds": 1},
+        {"runtime": "docker", "deployment_seconds": 11.0,
+         "image_size_mb": 1100, "image_transfer_mb": 460,
+         "execution_seconds": 1.5},
+    ]
+    assert all(check_deployment(rows).values())
+    rows[1]["deployment_seconds"] = 20.0  # singularity slowest: wrong world
+    verdicts = check_deployment(rows)
+    assert not verdicts["docker_deploys_slowest"]
+    assert not verdicts["singularity_subsecond_class_deploy"]

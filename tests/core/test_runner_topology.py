@@ -1,0 +1,42 @@
+"""Runner-level test for the switch-topology option."""
+
+import pytest
+
+from repro.alya.workmodel import AlyaWorkModel, CaseKind
+from repro.core.experiment import EndpointGranularity, ExperimentSpec
+from repro.core.runner import ExperimentRunner
+from repro.hardware import catalog
+from repro.hardware.topology import SwitchTopology
+
+
+def run(topology):
+    spec = ExperimentSpec(
+        name="topo",
+        cluster=catalog.MARENOSTRUM4,
+        runtime_name="bare-metal",
+        technique=None,
+        workmodel=AlyaWorkModel(
+            case=CaseKind.CFD,
+            n_cells=8_000_000,
+            cg_iters_per_step=5,
+            nominal_timesteps=10,
+            # Fat halos so the uplink actually matters.
+            halo_surface_coeff=60.0,
+            halo_fields_main=8,
+        ),
+        n_nodes=8,
+        ranks_per_node=48,
+        threads_per_rank=1,
+        sim_steps=1,
+        granularity=EndpointGranularity.NODE,
+        switch_topology=topology,
+    )
+    return ExperimentRunner().run(spec)
+
+
+def test_runner_accepts_topology_and_it_costs():
+    flat = run(None)
+    islands = run(SwitchTopology(nodes_per_switch=2, oversubscription=8.0))
+    assert islands.avg_step_seconds > flat.avg_step_seconds
+    # Same communication structure either way.
+    assert islands.messages == flat.messages

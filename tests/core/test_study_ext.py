@@ -1,0 +1,67 @@
+"""Tests for the extension studies (shrunken parameters)."""
+
+import pytest
+
+from repro.core.study_ext import (
+    DeploymentScalingStudy,
+    WeakScalingStudy,
+)
+from repro.hardware import catalog
+
+
+@pytest.fixture(scope="module")
+def weak_outcome():
+    return WeakScalingStudy(
+        cells_per_node=100_000, nodes=(2, 8), sim_steps=1
+    ).run()
+
+
+def test_weak_scaling_structure(weak_outcome):
+    assert set(weak_outcome.results) == {
+        "bare-metal",
+        "singularity system-specific",
+        "singularity self-contained",
+    }
+    for series in weak_outcome.results.values():
+        assert set(series) == {2, 8}
+
+
+def test_weak_scaling_shapes(weak_outcome):
+    assert weak_outcome.growth("bare-metal") < 1.5
+    assert weak_outcome.growth("singularity self-contained") > (
+        weak_outcome.growth("bare-metal")
+    )
+
+
+def test_weak_scaling_validation():
+    with pytest.raises(ValueError):
+        WeakScalingStudy(cells_per_node=0)
+
+
+@pytest.fixture(scope="module")
+def deploy_outcome():
+    return DeploymentScalingStudy(nodes=(2, 8)).run()
+
+
+def test_deployment_scaling_structure(deploy_outcome):
+    assert set(deploy_outcome.seconds) == {"singularity", "shifter", "docker"}
+    for series in deploy_outcome.seconds.values():
+        assert all(t > 0 for t in series.values())
+
+
+def test_deployment_scaling_shapes(deploy_outcome):
+    assert deploy_outcome.growth("singularity") < 1.1
+    assert deploy_outcome.growth("docker") > 1.2  # 4x pull volume shows
+    assert (
+        deploy_outcome.seconds["singularity"][8]
+        < deploy_outcome.seconds["shifter"][8]
+        < deploy_outcome.seconds["docker"][8]
+    )
+
+
+def test_deployment_study_builds_hypothetical_cluster():
+    study = DeploymentScalingStudy(nodes=(2,))
+    assert study.cluster.name.endswith("*")
+    assert study.cluster.supports_runtime("docker")
+    # The real catalog entry is untouched.
+    assert not catalog.MARENOSTRUM4.supports_runtime("docker")

@@ -1,0 +1,172 @@
+"""Tests for the studies (shrunken), figures, and shape-check helpers."""
+
+import pytest
+
+from repro.alya.workmodel import AlyaWorkModel, CaseKind
+from repro.core.figures import (
+    ascii_table,
+    deployment_table,
+    fig1_table,
+    fig2_table,
+    fig3_table,
+)
+from repro.core.report import (
+    check_deployment,
+    check_fig1,
+    check_fig2,
+    check_fig3,
+    verdict_lines,
+)
+from repro.core.study import (
+    ContainerSolutionsStudy,
+    PortabilityStudy,
+    ScalabilityStudy,
+)
+
+
+def small_cfd(cells=2_000_000, steps=200):
+    return AlyaWorkModel(
+        case=CaseKind.CFD, n_cells=cells, cg_iters_per_step=8,
+        nominal_timesteps=steps,
+    )
+
+
+def small_fsi():
+    return AlyaWorkModel(
+        case=CaseKind.FSI, n_cells=8_000_000, cg_iters_per_step=8,
+        nominal_timesteps=200, solid_flops_per_step=2e7,
+        interface_cells=10_000,
+    )
+
+
+@pytest.fixture(scope="module")
+def solutions_outcome():
+    study = ContainerSolutionsStudy(
+        workmodel=small_cfd(cells=6_500_000),
+        configs=((8, 14), (28, 4), (112, 1)),
+        sim_steps=1,
+    )
+    return study.run()
+
+
+def test_solutions_study_shapes(solutions_outcome):
+    verdicts = check_fig1(solutions_outcome)
+    assert verdicts["singularity_tracks_bare_metal"]
+    assert verdicts["shifter_tracks_bare_metal"]
+    assert verdicts["docker_gap_grows_with_ranks"]
+    assert verdicts["docker_worst_at_112x1"]
+    assert verdicts["docker_gap_at_112x1_dwarfs_8x14"]
+
+
+def test_solutions_deployment_shapes(solutions_outcome):
+    rows = solutions_outcome.deployment_rows()
+    verdicts = check_deployment(rows)
+    assert all(verdicts.values()), verdicts
+
+
+def test_fig1_table_renders(solutions_outcome):
+    text = fig1_table(solutions_outcome)
+    assert "bare-metal" in text and "docker" in text
+    assert "112x1" in text
+
+
+def test_deployment_table_renders(solutions_outcome):
+    text = deployment_table(solutions_outcome.deployment_rows())
+    assert "deploy [s]" in text and "singularity" in text
+
+
+@pytest.fixture(scope="module")
+def fig2_outcome():
+    study = PortabilityStudy(
+        workmodel=small_cfd(cells=8_000_000),
+        nodes=(2, 4, 8),
+        sim_steps=1,
+    )
+    return study.run_fig2()
+
+
+def test_portability_fig2_shapes(fig2_outcome):
+    verdicts = check_fig2(fig2_outcome)
+    assert all(verdicts.values()), verdicts
+
+
+def test_fig2_table_renders(fig2_outcome):
+    text = fig2_table(fig2_outcome)
+    assert "self-contained" in text
+
+
+def test_three_arch_comparison():
+    study = PortabilityStudy(sim_steps=1)
+    results, errors = study.run_three_archs(
+        workmodel=small_cfd(cells=1_000_000)
+    )
+    assert set(results) == {"MareNostrum4", "CTE-POWER", "ThunderX"}
+    for machine, variants in results.items():
+        assert variants["system-specific"].avg_step_seconds > 0
+        assert variants["self-contained"].avg_step_seconds > 0
+    # The x86 image is rejected on the non-x86 machines.
+    assert set(errors) == {"CTE-POWER", "ThunderX"}
+    assert "rebuild" in errors["CTE-POWER"]
+
+
+def test_three_archs_per_core_speed_ordering():
+    """Skylake nodes finish the fixed case fastest, ThunderX slowest —
+    the cross-ISA performance spread §B.2 exercises."""
+    study = PortabilityStudy(sim_steps=1)
+    results, _ = study.run_three_archs(workmodel=small_cfd(cells=1_000_000))
+    t_mn4 = results["MareNostrum4"]["system-specific"].elapsed_seconds
+    t_arm = results["ThunderX"]["system-specific"].elapsed_seconds
+    assert t_mn4 < t_arm
+
+
+@pytest.fixture(scope="module")
+def fig3_outcome():
+    study = ScalabilityStudy(
+        workmodel=small_fsi(),
+        nodes=(4, 8, 16, 32, 64),
+        sim_steps=1,
+    )
+    return study.run()
+
+
+def test_scalability_speedups_structure(fig3_outcome):
+    speedups = fig3_outcome.speedups()
+    assert set(speedups) == {
+        "bare-metal",
+        "singularity system-specific",
+        "singularity self-contained",
+    }
+    for series in speedups.values():
+        assert series[4] == pytest.approx(1.0)
+    ideal = fig3_outcome.ideal()
+    assert ideal[64] == pytest.approx(16.0)
+
+
+def test_scalability_self_contained_lags(fig3_outcome):
+    speedups = fig3_outcome.speedups()
+    assert (
+        speedups["singularity self-contained"][64]
+        < 0.6 * speedups["bare-metal"][64]
+    )
+
+
+def test_fig3_table_renders(fig3_outcome):
+    text = fig3_table(fig3_outcome)
+    assert "ideal" in text
+
+
+# ------------------------------- rendering -----------------------------------
+
+
+def test_ascii_table_alignment():
+    text = ascii_table(["name", "value"], [["a", 1.0], ["bbbb", 123456.0]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("name")
+    assert "123456" in lines[3]
+
+
+def test_verdict_lines_format():
+    text = verdict_lines({"ok_thing": True, "bad_thing": False})
+    assert "[PASS] ok_thing" in text
+    assert "[FAIL] bad_thing" in text

@@ -1,0 +1,97 @@
+"""Tests for the sweep API, CSV export, and ASCII plotting."""
+
+import csv
+import io
+
+import pytest
+
+from repro.alya.workmodel import AlyaWorkModel, CaseKind
+from repro.containers.recipes import BuildTechnique
+from repro.core.experiment import EndpointGranularity
+from repro.core.figures import ascii_plot
+from repro.core.sweep import Sweep, SweepPoint
+from repro.hardware import catalog
+
+
+@pytest.fixture(scope="module")
+def sweep_result():
+    wm = AlyaWorkModel(case=CaseKind.CFD, n_cells=800_000,
+                       cg_iters_per_step=5, nominal_timesteps=100)
+    sweep = Sweep(
+        cluster=catalog.CTE_POWER,
+        workmodel=wm,
+        variants=[
+            ("bare", "bare-metal", None),
+            ("sing-sc", "singularity", BuildTechnique.SELF_CONTAINED),
+        ],
+        nodes=[2, 4],
+        sim_steps=1,
+        granularity=EndpointGranularity.NODE,
+    )
+    return sweep.run()
+
+
+def test_sweep_covers_grid(sweep_result):
+    assert len(sweep_result.rows) == 4
+    assert sweep_result.labels() == ["bare", "sing-sc"]
+    bare = sweep_result.by_label("bare")
+    assert set(bare) == {2, 4}
+    assert bare[4].elapsed_seconds < bare[2].elapsed_seconds
+
+
+def test_sweep_progress_callback():
+    wm = AlyaWorkModel(case=CaseKind.CFD, n_cells=200_000,
+                       cg_iters_per_step=3, nominal_timesteps=10)
+    seen = []
+    sweep = Sweep(
+        cluster=catalog.LENOX,
+        workmodel=wm,
+        variants=[("bare", "bare-metal", None)],
+        nodes=[1, 2],
+        ranks_per_node=4,
+        sim_steps=1,
+        granularity=EndpointGranularity.RANK,
+    )
+    sweep.run(progress=seen.append)
+    assert [p.n_nodes for p in seen] == [1, 2]
+    assert all(isinstance(p, SweepPoint) for p in seen)
+
+
+def test_sweep_csv_export(sweep_result):
+    text = sweep_result.to_csv()
+    rows = list(csv.DictReader(io.StringIO(text)))
+    assert len(rows) == 4
+    assert rows[0]["label"] == "bare"
+    assert float(rows[0]["elapsed_seconds"]) > 0
+    assert rows[0]["technique"] == ""
+    sc = [r for r in rows if r["label"] == "sing-sc"][0]
+    assert sc["technique"] == "self-contained"
+    assert float(sc["compute_fraction"]) > 0
+
+
+def test_sweep_validation():
+    wm = AlyaWorkModel(case=CaseKind.CFD, n_cells=1000)
+    with pytest.raises(ValueError):
+        Sweep(catalog.LENOX, wm, variants=[], nodes=[1])
+    with pytest.raises(ValueError):
+        Sweep(catalog.LENOX, wm,
+              variants=[("b", "bare-metal", None)], nodes=[])
+
+
+def test_ascii_plot_renders():
+    series = {
+        "ideal": {4: 1.0, 8: 2.0, 16: 4.0},
+        "measured": {4: 1.0, 8: 1.8, 16: 3.1},
+    }
+    text = ascii_plot(series, ylabel="speedup")
+    assert "speedup" in text
+    assert "o ideal" in text and "x measured" in text
+    assert "16" in text  # x-axis tick
+    # Peak marker sits on the top row.
+    top_row = text.splitlines()[2]
+    assert "o" in top_row
+
+
+def test_ascii_plot_empty_rejected():
+    with pytest.raises(ValueError):
+        ascii_plot({})

@@ -1,0 +1,154 @@
+"""Tests for process interrupts and failure injection."""
+
+import pytest
+
+from repro.des import Environment, Interrupt
+
+
+def test_interrupt_wakes_waiting_process():
+    env = Environment()
+    log = []
+
+    def sleeper():
+        try:
+            yield env.timeout(100)
+            log.append("finished")
+        except Interrupt as exc:
+            log.append(("interrupted", env.now, exc.cause))
+
+    def killer(victim):
+        yield env.timeout(3)
+        victim.interrupt(cause="node failure")
+
+    victim = env.process(sleeper())
+    env.process(killer(victim))
+    env.run()
+    assert log == [("interrupted", 3.0, "node failure")]
+
+
+def test_interrupted_process_can_continue():
+    env = Environment()
+    log = []
+
+    def resilient():
+        try:
+            yield env.timeout(100)
+        except Interrupt:
+            log.append("retrying")
+            yield env.timeout(5)
+            log.append(env.now)
+
+    def killer(victim):
+        yield env.timeout(2)
+        victim.interrupt()
+
+    p = env.process(resilient())
+    env.process(killer(p))
+    env.run()
+    assert log == ["retrying", 7.0]
+
+
+def test_unhandled_interrupt_fails_process():
+    env = Environment()
+
+    def fragile():
+        yield env.timeout(100)
+
+    def killer(victim):
+        yield env.timeout(1)
+        victim.interrupt()
+
+    p = env.process(fragile())
+    env.process(killer(p))
+    with pytest.raises(Interrupt):
+        env.run()
+
+
+def test_original_event_keeps_running():
+    """The interrupted wait's event still fires for other waiters."""
+    env = Environment()
+    log = []
+    shared = env.timeout(10, value="done")
+
+    def waiter(tag, handle_interrupt):
+        try:
+            v = yield shared
+            log.append((tag, v, env.now))
+        except Interrupt:
+            log.append((tag, "interrupted", env.now))
+
+    p1 = env.process(waiter("a", True))
+    env.process(waiter("b", False))
+
+    def killer():
+        yield env.timeout(2)
+        p1.interrupt()
+
+    env.process(killer())
+    env.run()
+    assert ("a", "interrupted", 2.0) in log
+    assert ("b", "done", 10.0) in log
+
+
+def test_interrupt_before_first_resume():
+    env = Environment()
+    log = []
+
+    def proc():
+        try:
+            yield env.timeout(1)
+        except Interrupt:
+            log.append("early")
+            return
+        log.append("ran")
+
+    p = env.process(proc())
+    p.interrupt()  # before the process ever ran
+    env.run()
+    assert log == ["early"]
+
+
+def test_cannot_interrupt_finished_process():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(1)
+
+    p = env.process(quick())
+    env.run()
+    with pytest.raises(RuntimeError, match="finished"):
+        p.interrupt()
+
+
+def test_rank_failure_fails_mpi_job():
+    """Failure injection at the MPI level: killing one rank mid-collective
+    surfaces as a job failure (the peers deadlock-wait; the engine reports
+    the interrupt)."""
+    from repro.hardware import catalog
+    from repro.hardware.cluster import Cluster
+    from repro.hardware.network import NetworkPath
+    from repro.mpi import collectives
+    from repro.mpi.comm import SimComm
+    from repro.mpi.launcher import run_spmd
+    from repro.mpi.perf import MpiPerf
+    from repro.mpi.topology import RankMap
+
+    env = Environment()
+    cluster = Cluster(env, catalog.LENOX, num_nodes=2)
+    cluster.wire_network(NetworkPath.HOST_NATIVE)
+    perf = MpiPerf.for_fabric(catalog.LENOX.fabric, NetworkPath.HOST_NATIVE)
+    comm = SimComm(env, cluster, RankMap(4, 2), perf)
+
+    def body(c, rank):
+        yield env.timeout(1.0)
+        yield from collectives.allreduce(c, rank, op=1, nbytes=1e6)
+
+    procs = run_spmd(comm, body)
+
+    def killer():
+        yield env.timeout(0.5)
+        procs[2].interrupt(cause="injected node crash")
+
+    env.process(killer())
+    with pytest.raises(Interrupt):
+        env.run(until=env.all_of(procs))

@@ -1,0 +1,172 @@
+"""Tests for Resource and Container."""
+
+import pytest
+
+from repro.des import Container, Environment, Resource
+
+
+def test_resource_grants_up_to_capacity():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    grants = []
+
+    def user(tag):
+        req = res.request()
+        yield req
+        grants.append((tag, env.now))
+        yield env.timeout(5)
+        res.release(req)
+
+    for tag in "abc":
+        env.process(user(tag))
+    env.run()
+    assert grants == [("a", 0.0), ("b", 0.0), ("c", 5.0)]
+
+
+def test_resource_fifo_queue():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def user(tag, hold):
+        with (yield res.request()):
+            order.append(tag)
+            yield env.timeout(hold)
+
+    def staged():
+        env.process(user("first", 1))
+        yield env.timeout(0.1)
+        env.process(user("second", 1))
+        yield env.timeout(0.1)
+        env.process(user("third", 1))
+
+    env.process(staged())
+    env.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_resource_context_manager_releases():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def user():
+        with (yield res.request()):
+            yield env.timeout(1)
+
+    env.process(user())
+    env.run()
+    assert res.count == 0
+    assert res.queue_length == 0
+
+
+def test_resource_capacity_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_release_cancels_waiting_request():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def holder():
+        req = res.request()
+        yield req
+        yield env.timeout(10)
+        res.release(req)
+
+    def impatient():
+        req = res.request()  # will queue behind holder
+        yield env.timeout(1)
+        res.release(req)  # cancel while still waiting
+        assert not req.triggered
+
+    env.process(holder())
+    env.process(impatient())
+    env.run()
+    assert res.queue_length == 0
+
+
+def test_release_foreign_request_rejected():
+    env = Environment()
+    res_a = Resource(env, capacity=1)
+    res_b = Resource(env, capacity=1)
+
+    def proc():
+        req = res_a.request()
+        yield req
+        with pytest.raises(RuntimeError):
+            res_b.release(req)
+        res_a.release(req)
+
+    p = env.process(proc())
+    env.run(until=p)
+
+
+def test_container_get_blocks_until_put():
+    env = Environment()
+    tank = Container(env, capacity=100, init=0)
+    got_at = []
+
+    def consumer():
+        yield tank.get(10)
+        got_at.append(env.now)
+
+    def producer():
+        yield env.timeout(4)
+        yield tank.put(10)
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert got_at == [pytest.approx(4.0)]
+    assert tank.level == 0
+
+
+def test_container_put_blocks_at_capacity():
+    env = Environment()
+    tank = Container(env, capacity=10, init=10)
+    put_at = []
+
+    def producer():
+        yield tank.put(5)
+        put_at.append(env.now)
+
+    def consumer():
+        yield env.timeout(3)
+        yield tank.get(5)
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert put_at == [pytest.approx(3.0)]
+    assert tank.level == 10
+
+
+def test_container_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Container(env, capacity=0)
+    with pytest.raises(ValueError):
+        Container(env, capacity=5, init=6)
+    tank = Container(env, capacity=5)
+    with pytest.raises(ValueError):
+        tank.get(0)
+    with pytest.raises(ValueError):
+        tank.put(6)
+
+
+def test_container_level_conservation():
+    env = Environment()
+    tank = Container(env, capacity=1000, init=500)
+
+    def mover(n):
+        for _ in range(n):
+            yield tank.get(1)
+            yield env.timeout(0.01)
+            yield tank.put(1)
+
+    for _ in range(5):
+        env.process(mover(20))
+    env.run()
+    assert tank.level == pytest.approx(500)

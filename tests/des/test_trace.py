@@ -1,0 +1,84 @@
+"""Tests for the tracer and its communicator integration."""
+
+import pytest
+
+from repro.des import Environment
+from repro.des.trace import Tracer
+from repro.hardware import catalog
+from repro.hardware.cluster import Cluster
+from repro.hardware.network import NetworkPath
+from repro.mpi.comm import SimComm
+from repro.mpi.perf import MpiPerf
+from repro.mpi.topology import RankMap
+
+
+def test_record_and_query():
+    tr = Tracer()
+    tr.record(1.0, "a", "x", foo=1)
+    tr.record(2.0, "b", "y")
+    tr.record(3.0, "a", "z")
+    assert len(tr) == 3
+    assert [r.label for r in tr.by_category("a")] == ["x", "z"]
+    assert tr.counts() == {"a": 2, "b": 1}
+    assert tr.time_span() == (1.0, 3.0)
+    assert tr.records[0].data["foo"] == 1
+
+
+def test_category_filter():
+    tr = Tracer(categories={"keep"})
+    assert tr.wants("keep")
+    assert not tr.wants("drop")
+    tr.record(0.0, "drop", "x")
+    tr.record(0.0, "keep", "y")
+    assert len(tr) == 1
+
+
+def test_limit_counts_drops():
+    tr = Tracer(limit=2)
+    for i in range(5):
+        tr.record(float(i), "c", str(i))
+    assert len(tr) == 2
+    assert tr.dropped == 3
+
+
+def test_empty_time_span():
+    assert Tracer().time_span() == (0.0, 0.0)
+
+
+def test_limit_validation():
+    with pytest.raises(ValueError):
+        Tracer(limit=0)
+
+
+def test_comm_emits_send_and_deliver_records():
+    env = Environment()
+    cluster = Cluster(env, catalog.LENOX, num_nodes=2)
+    cluster.wire_network(NetworkPath.HOST_NATIVE)
+    perf = MpiPerf.for_fabric(catalog.LENOX.fabric, NetworkPath.HOST_NATIVE)
+    tracer = Tracer()
+    comm = SimComm(env, cluster, RankMap(2, 2), perf, tracer=tracer)
+
+    def sender(c, r):
+        yield from c.send(0, 1, tag=5, nbytes=1000)
+
+    def receiver(c, r):
+        yield c.recv(1, 0, 5)
+
+    env.process(sender(comm, 0))
+    env.process(receiver(comm, 1))
+    env.run()
+    sends = tracer.by_category("mpi.send")
+    delivers = tracer.by_category("mpi.deliver")
+    assert len(sends) == 1 and len(delivers) == 1
+    assert sends[0].label == "0->1"
+    assert delivers[0].time > sends[0].time  # delivery after latency+bytes
+    assert sends[0].data["nbytes"] == 1000
+
+
+def test_tracing_is_optional_and_free_by_default():
+    env = Environment()
+    cluster = Cluster(env, catalog.LENOX, num_nodes=1)
+    cluster.wire_network(NetworkPath.HOST_NATIVE)
+    perf = MpiPerf.for_fabric(catalog.LENOX.fabric, NetworkPath.HOST_NATIVE)
+    comm = SimComm(env, cluster, RankMap(2, 1), perf)
+    assert comm.tracer is None

@@ -1,0 +1,117 @@
+"""Tests for cluster specs, the catalog, and the simulated cluster."""
+
+import pytest
+
+from repro.des import Environment
+from repro.hardware import catalog
+from repro.hardware.cluster import Cluster
+from repro.hardware.network import NetworkPath
+
+
+def test_catalog_matches_paper_env():
+    """§A numbers: nodes, cores/node, installed runtimes."""
+    assert catalog.LENOX.num_nodes == 4
+    assert catalog.LENOX.node.cores == 28
+    assert catalog.MARENOSTRUM4.node.cores == 48
+    assert catalog.MARENOSTRUM4.num_nodes == 3456
+    assert catalog.CTE_POWER.node.cores == 40
+    assert catalog.CTE_POWER.num_nodes == 52
+    assert catalog.THUNDERX.node.cores == 96
+    assert catalog.THUNDERX.num_nodes == 4
+
+
+def test_fig3_scale_possible():
+    """256 nodes x 48 cores = 12,288 cores, as in Fig. 3."""
+    assert 256 * catalog.MARENOSTRUM4.node.cores == 12288
+    assert catalog.MARENOSTRUM4.num_nodes >= 256
+
+
+def test_only_lenox_has_docker():
+    assert catalog.LENOX.supports_runtime("docker")
+    assert catalog.LENOX.supports_runtime("Singularity")
+    assert catalog.LENOX.supports_runtime("shifter")
+    for spec in (catalog.MARENOSTRUM4, catalog.CTE_POWER, catalog.THUNDERX):
+        assert not spec.supports_runtime("docker")
+        assert spec.supports_runtime("singularity")
+
+
+def test_only_lenox_has_admin_rights():
+    assert catalog.LENOX.admin_rights
+    assert not catalog.MARENOSTRUM4.admin_rights
+
+
+def test_get_cluster_lookup():
+    assert catalog.get_cluster("marenostrum4") is catalog.MARENOSTRUM4
+    with pytest.raises(KeyError):
+        catalog.get_cluster("summit")
+
+
+def test_cluster_instantiation_bounds():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Cluster(env, catalog.LENOX, num_nodes=5)
+    with pytest.raises(ValueError):
+        Cluster(env, catalog.LENOX, num_nodes=0)
+    cluster = Cluster(env, catalog.LENOX, num_nodes=2)
+    assert len(cluster) == 2
+
+
+def test_transfer_requires_wiring():
+    env = Environment()
+    cluster = Cluster(env, catalog.LENOX, num_nodes=2)
+    with pytest.raises(RuntimeError):
+        cluster.transfer(0, 1, 100)
+    with pytest.raises(RuntimeError):
+        cluster.nic_params  # noqa: B018
+
+
+def test_internode_transfer_time():
+    env = Environment()
+    cluster = Cluster(env, catalog.LENOX, num_nodes=2)
+    cluster.wire_network(NetworkPath.HOST_NATIVE)
+    done = {}
+
+    def proc():
+        yield cluster.transfer(0, 1, 125_000_000)  # 1 Gbit/s -> 1 s
+        done["t"] = env.now
+
+    env.process(proc())
+    env.run()
+    assert done["t"] == pytest.approx(1.0, rel=1e-6)
+
+
+def test_intranode_transfer_uses_shm():
+    env = Environment()
+    cluster = Cluster(env, catalog.LENOX, num_nodes=1)
+    cluster.wire_network(NetworkPath.HOST_NATIVE)
+    done = {}
+
+    def proc():
+        yield cluster.transfer(0, 0, 35e9)  # copy_bandwidth = 35e9 -> 1 s
+        done["t"] = env.now
+
+    env.process(proc())
+    env.run()
+    assert done["t"] == pytest.approx(1.0, rel=1e-6)
+
+
+def test_concurrent_senders_share_receiver_nic():
+    """Incast: two senders into one receiver halve each other's rate."""
+    env = Environment()
+    cluster = Cluster(env, catalog.LENOX, num_nodes=3)
+    cluster.wire_network(NetworkPath.HOST_NATIVE)
+    bw = cluster.nic_params.bandwidth
+    finished = []
+
+    def sender(src):
+        yield cluster.transfer(src, 2, bw)  # 1 s alone
+        finished.append(env.now)
+
+    env.process(sender(0))
+    env.process(sender(1))
+    env.run()
+    assert max(finished) == pytest.approx(2.0, rel=1e-6)
+
+
+def test_total_cores():
+    assert catalog.MARENOSTRUM4.total_cores() == 3456 * 48

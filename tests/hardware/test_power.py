@@ -1,0 +1,79 @@
+"""Tests for the power/energy model."""
+
+import pytest
+
+from repro.hardware import catalog
+from repro.hardware.power import (
+    NODE_OVERHEAD_FRACTION,
+    POWER_ENVELOPES,
+    PowerEnvelope,
+    job_energy,
+    node_power,
+)
+
+
+def test_envelopes_cover_testbed():
+    for spec in (catalog.LENOX, catalog.MARENOSTRUM4, catalog.CTE_POWER,
+                 catalog.THUNDERX):
+        assert spec.node.cpu.name in POWER_ENVELOPES
+
+
+def test_thunderx_lowest_tdp():
+    """The Mont-Blanc premise: mobile-class parts draw less power."""
+    arm = POWER_ENVELOPES["Cavium ThunderX CN8890"].tdp
+    assert all(
+        arm < env.tdp
+        for name, env in POWER_ENVELOPES.items()
+        if name != "Cavium ThunderX CN8890"
+    )
+
+
+def test_phase_power_ordering():
+    for spec in (catalog.LENOX, catalog.THUNDERX):
+        assert (
+            node_power(spec, "compute")
+            > node_power(spec, "comm")
+            > node_power(spec, "idle")
+            > 0
+        )
+
+
+def test_node_power_includes_overhead():
+    spec = catalog.MARENOSTRUM4
+    cpu_only = POWER_ENVELOPES[spec.node.cpu.name].tdp * spec.node.sockets
+    assert node_power(spec, "compute") == pytest.approx(
+        cpu_only * (1 + NODE_OVERHEAD_FRACTION)
+    )
+
+
+def test_unknown_phase_rejected():
+    with pytest.raises(ValueError):
+        node_power(catalog.LENOX, "sleepwalking")
+
+
+def test_job_energy_scales_with_nodes_and_time():
+    fr = {"halo": 0.1, "collective": 0.1, "coupling": 0.0}
+    e1 = job_energy(catalog.MARENOSTRUM4, 4, 100.0, fr)
+    e2 = job_energy(catalog.MARENOSTRUM4, 8, 100.0, fr)
+    e3 = job_energy(catalog.MARENOSTRUM4, 4, 200.0, fr)
+    assert e2 == pytest.approx(2 * e1)
+    assert e3 == pytest.approx(2 * e1)
+
+
+def test_comm_heavy_jobs_draw_less_power():
+    compute_only = job_energy(catalog.MARENOSTRUM4, 1, 100.0, {})
+    comm_heavy = job_energy(
+        catalog.MARENOSTRUM4, 1, 100.0, {"halo": 0.5, "collective": 0.3}
+    )
+    assert comm_heavy < compute_only
+
+
+def test_job_energy_validation():
+    with pytest.raises(ValueError):
+        job_energy(catalog.LENOX, 0, 10.0, {})
+    with pytest.raises(ValueError):
+        job_energy(catalog.LENOX, 1, -1.0, {})
+    with pytest.raises(ValueError):
+        PowerEnvelope(tdp=0)
+    with pytest.raises(ValueError):
+        PowerEnvelope(tdp=100, idle_fraction=1.5)

@@ -1,0 +1,103 @@
+"""Tests for the switch-level topology."""
+
+import pytest
+
+from repro.des import Environment
+from repro.hardware import catalog
+from repro.hardware.cluster import Cluster
+from repro.hardware.network import NetworkPath
+from repro.hardware.topology import (
+    MN4_OPA_ISLANDS,
+    NON_BLOCKING,
+    SwitchTopology,
+)
+
+
+def test_switch_assignment():
+    topo = SwitchTopology(nodes_per_switch=4)
+    assert topo.switch_of(0) == 0
+    assert topo.switch_of(3) == 0
+    assert topo.switch_of(4) == 1
+    assert topo.same_switch(0, 3)
+    assert not topo.same_switch(3, 4)
+    assert topo.n_switches(9) == 3
+
+
+def test_uplink_bandwidth_oversubscription():
+    topo = SwitchTopology(nodes_per_switch=4, oversubscription=2.0)
+    assert topo.uplink_bandwidth(100.0) == pytest.approx(200.0)
+    flat = SwitchTopology(nodes_per_switch=4, oversubscription=1.0)
+    assert flat.uplink_bandwidth(100.0) == pytest.approx(400.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        SwitchTopology(nodes_per_switch=0)
+    with pytest.raises(ValueError):
+        SwitchTopology(nodes_per_switch=4, oversubscription=0.5)
+    topo = SwitchTopology(nodes_per_switch=4)
+    with pytest.raises(ValueError):
+        topo.switch_of(-1)
+    with pytest.raises(ValueError):
+        topo.uplink_bandwidth(0)
+
+
+def test_mn4_constants():
+    assert MN4_OPA_ISLANDS.nodes_per_switch == 48
+    assert MN4_OPA_ISLANDS.oversubscription == 2.0
+    assert NON_BLOCKING.oversubscription == 1.0
+
+
+def _cross_switch_time(oversubscription, flows):
+    """Many simultaneous cross-switch flows on a tiny 2-switch cluster."""
+    env = Environment()
+    cluster = Cluster(env, catalog.MARENOSTRUM4, num_nodes=4)
+    topo = SwitchTopology(nodes_per_switch=2, oversubscription=oversubscription)
+    cluster.wire_network(NetworkPath.HOST_NATIVE, topology=topo)
+    bw = cluster.nic_params.bandwidth
+    ends = []
+
+    def sender(src, dst):
+        yield cluster.transfer(src, dst, bw)  # 1 s at full NIC speed
+        ends.append(env.now)
+
+    # Both nodes of switch 0 push to both nodes of switch 1.
+    for i, (src, dst) in enumerate([(0, 2), (0, 3), (1, 2), (1, 3)][:flows]):
+        env.process(sender(src, dst))
+    env.run()
+    return max(ends)
+
+
+def test_intra_switch_traffic_unaffected():
+    env = Environment()
+    cluster = Cluster(env, catalog.MARENOSTRUM4, num_nodes=4)
+    cluster.wire_network(
+        NetworkPath.HOST_NATIVE,
+        topology=SwitchTopology(nodes_per_switch=2, oversubscription=2.0),
+    )
+    bw = cluster.nic_params.bandwidth
+    done = {}
+
+    def sender():
+        yield cluster.transfer(0, 1, bw)
+        done["t"] = env.now
+
+    env.process(sender())
+    env.run()
+    assert done["t"] == pytest.approx(1.0, rel=1e-6)
+
+
+def test_oversubscribed_uplink_throttles_cross_switch_traffic():
+    """4 concurrent cross-switch flows: non-blocking finishes in ~2 s
+    (NIC-limited: 2 flows per NIC), 4:1 oversubscription in ~8 s
+    (uplink carries 4 NICs' worth through 1 NIC's bandwidth)."""
+    t_flat = _cross_switch_time(1.0, flows=4)
+    t_over = _cross_switch_time(4.0, flows=4)
+    assert t_flat == pytest.approx(2.0, rel=1e-3)
+    assert t_over == pytest.approx(8.0, rel=1e-3)
+
+
+def test_single_cross_switch_flow_pays_nothing_if_headroom():
+    """One flow never exceeds the uplink share at 2:1 with 2 nodes/leaf."""
+    t = _cross_switch_time(2.0, flows=1)
+    assert t == pytest.approx(1.0, rel=1e-3)

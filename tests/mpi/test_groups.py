@@ -1,0 +1,140 @@
+"""Tests for sub-communicators (GroupComm)."""
+
+import pytest
+
+from repro.mpi import collectives
+from repro.mpi.comm import GroupComm
+
+
+def test_group_basic_properties(make_comm):
+    env, comm = make_comm(8, 2)
+    g = comm.group([2, 3, 5])
+    assert g.size == 3
+    assert g.translate(0) == 2
+    assert g.group_rank_of(5) == 2
+    with pytest.raises(ValueError):
+        g.translate(3)
+    with pytest.raises(KeyError):
+        g.group_rank_of(0)
+
+
+def test_group_validation(make_comm):
+    env, comm = make_comm(4, 2)
+    with pytest.raises(ValueError):
+        comm.group([])
+    with pytest.raises(ValueError):
+        comm.group([1, 1])
+    with pytest.raises(ValueError):
+        comm.group([0, 99])
+
+
+def test_group_p2p_translates_ranks(make_comm):
+    env, comm = make_comm(6, 2)
+    g = comm.group([4, 5])
+    got = {}
+
+    def sender(c, r):
+        yield from c.send(0, 1, tag=1, nbytes=10, payload="hi")
+
+    def receiver(c, r):
+        msg = yield c.recv(1, 0, 1)
+        got["msg"] = msg
+
+    env.process(sender(g, 0))
+    env.process(receiver(g, 1))
+    env.run()
+    # Underneath, the message travelled between global ranks 4 and 5.
+    assert got["msg"].src == 4
+    assert got["msg"].dst == 5
+    assert got["msg"].payload == "hi"
+
+
+def test_collectives_run_on_groups(make_comm):
+    env, comm = make_comm(8, 2)
+    fluid = comm.group([0, 1, 2, 3, 4, 5])
+    solid = comm.group([6, 7])
+    done = []
+
+    def fluid_body(rank):
+        yield from collectives.allreduce(fluid, rank, op=1, nbytes=64)
+        done.append(("fluid", rank))
+
+    def solid_body(rank):
+        yield from collectives.allreduce(solid, rank, op=1, nbytes=64)
+        done.append(("solid", rank))
+
+    for r in range(6):
+        env.process(fluid_body(r))
+    for r in range(2):
+        env.process(solid_body(r))
+    env.run()
+    assert len(done) == 8
+
+
+def test_disjoint_groups_same_tags_no_crosstalk(make_comm):
+    """Two groups running the same collective op id must not interfere:
+    rank pairs are disjoint, so matching stays within each group."""
+    env, comm = make_comm(8, 2)
+    g1 = comm.group([0, 1, 2, 3])
+    g2 = comm.group([4, 5, 6, 7])
+    results = []
+
+    def body(g, label, rank):
+        yield from collectives.bcast(g, rank, op=7, nbytes=100, root=0)
+        results.append(label)
+
+    for r in range(4):
+        env.process(body(g1, "g1", r))
+        env.process(body(g2, "g2", r))
+    env.run()
+    assert results.count("g1") == 4
+    assert results.count("g2") == 4
+    # Each binomial bcast sends p-1 = 3 messages.
+    assert comm.messages_sent == 6
+
+
+def test_group_traffic_accounted_on_parent(make_comm):
+    env, comm = make_comm(4, 2)
+    g = comm.group([0, 3])  # spans both nodes
+
+    def body(rank):
+        other = 1 - rank
+        yield from g.sendrecv(rank, other, other, tag=2, nbytes=500)
+
+    env.process(body(0))
+    env.process(body(1))
+    env.run()
+    assert comm.messages_sent == 2
+    assert comm.bytes_sent == 1000
+    assert comm.internode_messages == 2  # ranks 0 and 3 are on different nodes
+
+
+def test_two_code_fsi_pattern(make_comm):
+    """The paper's FSI structure: a fluid group and a solid group advance
+    concurrently and exchange interface data between their roots."""
+    env, comm = make_comm(8, 2)
+    fluid = comm.group(list(range(6)))
+    solid = comm.group([6, 7])
+    log = []
+
+    def fluid_body(rank):
+        yield from collectives.allreduce(fluid, rank, op=1, nbytes=16)
+        if rank == 0:  # fluid root sends loads to solid root (global 6)
+            yield from comm.send(0, 6, tag=900, nbytes=4000)
+            yield comm.recv(0, 6, 901)
+            log.append("coupled")
+        yield from collectives.barrier(fluid, rank, op=2)
+
+    def solid_body(rank):
+        yield from collectives.allreduce(solid, rank, op=1, nbytes=16)
+        if rank == 0:  # solid root (global 6)
+            yield comm.recv(6, 0, 900)
+            yield from comm.send(6, 0, tag=901, nbytes=4000)
+        yield from collectives.barrier(solid, rank, op=2)
+
+    for r in range(6):
+        env.process(fluid_body(r))
+    for r in range(2):
+        env.process(solid_body(r))
+    env.run()
+    assert log == ["coupled"]

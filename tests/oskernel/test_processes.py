@@ -1,0 +1,124 @@
+"""Tests for the process table: PID namespaces, SUID transitions."""
+
+import pytest
+
+from repro.oskernel.mounts import MountTable
+from repro.oskernel.namespaces import HPC_KINDS, NamespaceKind, NamespaceSet
+from repro.oskernel.processes import Credentials, ProcessError, ProcessTable
+from repro.oskernel.vfs import FileSystem
+
+
+@pytest.fixture
+def table():
+    host_ns = NamespaceSet.host()
+    return ProcessTable(host_ns, MountTable(FileSystem("root")))
+
+
+def test_init_is_pid1_root(table):
+    init = table.get(table.init_pid)
+    assert init.creds.is_privileged
+    host_pid_ns = table.host_namespaces.get(NamespaceKind.PID).ns_id
+    assert init.pid_in(host_pid_ns) == 1
+
+
+def test_fork_inherits(table):
+    child = table.fork(table.init_pid, argv=("bash",))
+    assert child.parent == table.init_pid
+    assert child.namespaces is table.get(table.init_pid).namespaces
+    assert child.mount_table is table.get(table.init_pid).mount_table
+    assert child.creds == Credentials.root()
+
+
+def test_fork_with_user_creds(table):
+    user = table.fork(table.init_pid, argv=("login",), creds=Credentials.user(1000))
+    assert not user.creds.is_privileged
+    assert user.creds.uid == 1000
+
+
+def test_unprivileged_cannot_unshare(table):
+    user = table.fork(table.init_pid, argv=("sh",), creds=Credentials.user(1000))
+    with pytest.raises(ProcessError, match="requires privilege"):
+        table.fork(user.global_pid, argv=("ctr",), unshare=HPC_KINDS)
+
+
+def test_suid_escalation_enables_unshare(table):
+    """The Singularity starter pattern: user -> SUID escalate -> unshare ->
+    drop privileges."""
+    user = table.fork(table.init_pid, argv=("sh",), creds=Credentials.user(1000))
+    suid_creds = user.creds.escalate_suid()
+    starter = table.fork(
+        user.global_pid, argv=("starter-suid",), creds=suid_creds
+    )
+    container = table.fork(
+        starter.global_pid,
+        argv=("alya",),
+        unshare=HPC_KINDS,
+        creds=suid_creds.drop_privileges(),
+    )
+    assert not container.creds.is_privileged
+    assert container.creds.uid == 1000  # identity preserved in container
+
+
+def test_user_namespace_unshare_is_unprivileged(table):
+    user = table.fork(table.init_pid, argv=("sh",), creds=Credentials.user(1000))
+    child = table.fork(
+        user.global_pid, argv=("x",), unshare=frozenset({NamespaceKind.USER})
+    )
+    assert not child.namespaces.shares(user.namespaces, NamespaceKind.USER)
+
+
+def test_pid_namespace_numbering(table):
+    container = table.fork(
+        table.init_pid, argv=("init-ctr",), unshare=frozenset({NamespaceKind.PID})
+    )
+    inner_ns = container.namespaces.get(NamespaceKind.PID).ns_id
+    assert container.pid_in(inner_ns) == 1  # pid 1 inside
+    host_ns = table.host_namespaces.get(NamespaceKind.PID).ns_id
+    assert container.pid_in(host_ns) == container.global_pid  # visible outside
+    sibling = table.fork(container.global_pid, argv=("worker",))
+    assert sibling.pid_in(inner_ns) == 2
+
+
+def test_visible_pids_isolated(table):
+    table.fork(table.init_pid, argv=("hostproc",))
+    container = table.fork(
+        table.init_pid, argv=("ctr",), unshare=frozenset({NamespaceKind.PID})
+    )
+    table.fork(container.global_pid, argv=("w1",))
+    # Inside the container: pid 1 (itself) and pid 2 (worker) only.
+    assert table.visible_pids(container.global_pid) == [1, 2]
+    # Host sees everything.
+    assert len(table.visible_pids(table.init_pid)) == 4
+
+
+def test_mount_unshare_clones_table(table):
+    container = table.fork(
+        table.init_pid, argv=("ctr",), unshare=frozenset({NamespaceKind.MOUNT})
+    )
+    assert container.mount_table is not table.get(table.init_pid).mount_table
+    container.mount_table.mount_tmpfs("/ctr")
+    assert not table.get(table.init_pid).mount_table.exists("/ctr/.")
+
+
+def test_exit_lifecycle(table):
+    p = table.fork(table.init_pid, argv=("job",))
+    table.exit(p.global_pid, code=3)
+    assert not p.alive
+    assert p.exit_code == 3
+    with pytest.raises(ProcessError):
+        table.exit(p.global_pid)
+    with pytest.raises(ProcessError):
+        table.fork(p.global_pid, argv=("orphan",))
+
+
+def test_get_missing_pid(table):
+    with pytest.raises(ProcessError):
+        table.get(9999)
+
+
+def test_credentials_transitions():
+    creds = Credentials.user(500)
+    up = creds.escalate_suid()
+    assert up.is_privileged and up.uid == 500
+    down = up.drop_privileges()
+    assert down == creds

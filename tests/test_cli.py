@@ -1,0 +1,40 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_accepts_artefacts():
+    parser = build_parser()
+    for name in ("fig1", "fig2", "fig3", "eval1", "eval2", "all"):
+        args = parser.parse_args([name])
+        assert args.artefact == name
+        assert args.sim_steps == 2
+
+
+def test_parser_rejects_unknown():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["fig9"])
+
+
+def test_sim_steps_validation(capsys):
+    assert main(["fig1", "--sim-steps", "0"]) == 2
+
+
+def test_eval1_command_runs(capsys):
+    rc = main(["eval1", "--sim-steps", "1"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "deploy [s]" in out
+    assert "[PASS]" in out
+    assert "[FAIL]" not in out
+
+
+def test_eval2_command_runs(capsys):
+    rc = main(["eval2", "--sim-steps", "1"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "ppc64le" in out
+    assert "rebuilt per ISA" in out or "Foreign-image rejections" in out
