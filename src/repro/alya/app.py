@@ -121,6 +121,7 @@ class SimulatedAlya:
         sim_steps: int = 3,
         topology: str = "grid",
         overlap_halo: bool = False,
+        obs=None,
     ) -> None:
         if sim_steps < 1:
             raise ValueError("sim_steps must be >= 1")
@@ -129,6 +130,9 @@ class SimulatedAlya:
         self.work = work
         self.ctx = ctx
         self.sim_steps = sim_steps
+        #: Optional :class:`repro.obs.span.Observability`: per-step solver
+        #: phase spans on each endpoint's ``ep-{n}`` track.
+        self.obs = obs
         #: Overlap the predictor halo with the step's compute
         #: (non-blocking exchange posted before the arithmetic, waited
         #: after) — the classic latency-hiding optimisation, exposed for
@@ -249,9 +253,17 @@ class SimulatedAlya:
         intra_pen = self.intra_collective_penalty()
         iface = work.interface_bytes() if work.case is CaseKind.FSI else 0.0
         phases = PhaseTimes()
+        obs = self.obs
+        track = f"ep-{ep}"
+
+        def mark(name: str, t0: float) -> None:
+            if obs is not None and env.now > t0:
+                obs.add_span(name, "solver", t0, env.now, track=track,
+                             step=step)
 
         for step in range(self.sim_steps):
             base = step * _OPS_PER_STEP
+            step_t0 = env.now
             if self.overlap_halo:
                 # Post the predictor halo, compute behind it, wait after.
                 pending = self._post_halo(
@@ -260,22 +272,27 @@ class SimulatedAlya:
                 t = env.now
                 yield env.timeout(comp)
                 phases.compute += env.now - t
+                mark("compute", t)
                 t = env.now
                 if pending:
                     yield env.all_of(pending)
                 phases.halo += env.now - t
+                mark("halo", t)
             else:
                 # 1. Arithmetic of the whole step.
                 t = env.now
                 yield env.timeout(comp)
                 phases.compute += env.now - t
+                mark("compute", t)
                 # 2. Predictor halo.
                 t = env.now
                 yield from self._halo_exchange(
                     comm, ep, base + _OP_HALO_MAIN, halo_main
                 )
                 phases.halo += env.now - t
+                mark("halo", t)
             # 3. Pressure solver: halo + dot-product allreduce per iteration.
+            cg_t0 = env.now
             for it in range(work.cg_iters_per_step):
                 t = env.now
                 yield from self._halo_exchange(
@@ -289,6 +306,7 @@ class SimulatedAlya:
                     comm, ep, op=base + _OP_ALLREDUCE + it, nbytes=16.0
                 )
                 phases.collective += env.now - t
+            mark("cg_solve", cg_t0)
             # 4. FSI coupling through the code roots.
             if work.case is CaseKind.FSI:
                 t = env.now
@@ -305,6 +323,8 @@ class SimulatedAlya:
                     comm, ep, op=base + _OP_FSI_BCAST, nbytes=iface, root=0
                 )
                 phases.coupling += env.now - t
+                mark("coupling", t)
+            mark("step", step_t0)
         return phases
 
     def body(self):

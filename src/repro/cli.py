@@ -10,6 +10,8 @@ Examples
     repro-study eval1                # deployment / image-size table
     repro-study eval2                # three-architecture comparison
     repro-study all                  # everything, with shape checks
+    repro-study trace --fig fig1     # Chrome trace + metrics + digest
+    repro-study trace --fig fig3 --nodes 8 --out /tmp/t
 """
 
 from __future__ import annotations
@@ -132,6 +134,90 @@ def _microbench(args) -> bool:
     return ok
 
 
+def _trace(args) -> bool:
+    import json
+    from pathlib import Path
+
+    from repro.containers.recipes import BuildTechnique
+    from repro.core import calibration
+    from repro.core.experiment import EndpointGranularity, ExperimentSpec
+    from repro.core.runner import ExperimentRunner
+    from repro.obs import (
+        Observability,
+        metrics_csv,
+        metrics_dump,
+        trace_digest,
+        write_chrome_trace,
+    )
+
+    if args.fig == "fig1":
+        runtime = args.runtime or "docker"
+        spec = ExperimentSpec(
+            name=f"trace-fig1-{runtime}",
+            cluster=catalog.LENOX,
+            runtime_name=runtime,
+            technique=(
+                None if runtime == "bare-metal"
+                else BuildTechnique.SELF_CONTAINED
+            ),
+            workmodel=calibration.lenox_cfd_workmodel(),
+            n_nodes=args.nodes,
+            ranks_per_node=7,
+            threads_per_rank=4,
+            sim_steps=args.sim_steps,
+            granularity=EndpointGranularity.RANK,
+        )
+    else:  # fig3
+        runtime = args.runtime or "singularity"
+        spec = ExperimentSpec(
+            name=f"trace-fig3-{runtime}",
+            cluster=catalog.MARENOSTRUM4,
+            runtime_name=runtime,
+            technique=(
+                None if runtime == "bare-metal"
+                else BuildTechnique.SYSTEM_SPECIFIC
+            ),
+            workmodel=calibration.mn4_fsi_workmodel(),
+            n_nodes=args.nodes,
+            ranks_per_node=catalog.MARENOSTRUM4.node.cores,
+            threads_per_rank=1,
+            sim_steps=args.sim_steps,
+            granularity=EndpointGranularity.NODE,
+        )
+
+    obs = Observability()
+    result = ExperimentRunner().run(spec, obs=obs)
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    write_chrome_trace(out / "trace.json", obs)
+    (out / "metrics.json").write_text(
+        json.dumps(metrics_dump(obs), indent=2, sort_keys=True) + "\n"
+    )
+    (out / "metrics.csv").write_text(metrics_csv(obs))
+    digest = trace_digest(obs)
+    (out / "digest.txt").write_text(digest + "\n")
+
+    print(f"Traced {spec.name}: {spec.n_nodes} nodes x "
+          f"{spec.ranks_per_node} ranks on {spec.cluster.name}\n")
+    rows = [[name, seconds] for name, seconds in result.phases.items()]
+    print(ascii_table(["phase", "seconds"], rows))
+    phase_sum = sum(result.phases.values())
+    recon = abs(phase_sum - result.elapsed_seconds) <= 1e-6 * max(
+        1.0, result.elapsed_seconds
+    )
+    print(f"\nelapsed_seconds : {result.elapsed_seconds:.6f}")
+    print(f"sum of phases   : {phase_sum:.6f}  "
+          f"({'reconciles' if recon else 'MISMATCH'})")
+    print(f"spans / records : {len(obs.spans.spans)} / "
+          f"{len(obs.records.records)}")
+    print(f"trace digest    : {digest}")
+    print(f"\nwrote {out / 'trace.json'} (load in https://ui.perfetto.dev),")
+    print(f"      {out / 'metrics.json'}, {out / 'metrics.csv'}, "
+          f"{out / 'digest.txt'}")
+    return recon
+
+
 def _claims(args) -> bool:
     from repro.core.paper_reference import claims_table
 
@@ -149,7 +235,12 @@ _COMMANDS: dict[str, Callable] = {
     "eval2": _eval2,
     "claims": _claims,
     "microbench": _microbench,
+    "trace": _trace,
 }
+
+#: ``all`` regenerates the read-only artefacts; ``trace`` writes files and
+#: is therefore only run when named explicitly.
+_ALL_EXCLUDES = {"trace"}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -172,6 +263,34 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="time steps the simulator executes per run (default 2)",
     )
+    group = parser.add_argument_group("trace options")
+    group.add_argument(
+        "--fig",
+        choices=["fig1", "fig3"],
+        default="fig1",
+        help="experiment shape to trace (default fig1)",
+    )
+    group.add_argument(
+        "--runtime",
+        choices=["bare-metal", "docker", "singularity", "shifter",
+                 "charliecloud"],
+        default=None,
+        help="container runtime (default: docker for fig1, "
+             "singularity for fig3)",
+    )
+    group.add_argument(
+        "--nodes",
+        type=int,
+        default=4,
+        metavar="N",
+        help="nodes in the traced run (default 4)",
+    )
+    group.add_argument(
+        "--out",
+        default="repro-trace",
+        metavar="DIR",
+        help="output directory for trace.json/metrics.* (default repro-trace)",
+    )
     return parser
 
 
@@ -180,7 +299,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.sim_steps < 1:
         print("error: --sim-steps must be >= 1", file=sys.stderr)
         return 2
-    names = list(_COMMANDS) if args.artefact == "all" else [args.artefact]
+    if args.artefact == "all":
+        names = [n for n in _COMMANDS if n not in _ALL_EXCLUDES]
+    else:
+        names = [args.artefact]
+    if args.nodes < 1:
+        print("error: --nodes must be >= 1", file=sys.stderr)
+        return 2
     ok = True
     for i, name in enumerate(names):
         if i:

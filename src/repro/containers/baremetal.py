@@ -32,11 +32,15 @@ class BareMetalRuntime(ContainerRuntime):
         image=None,
         registry=None,
         gateway=None,
+        obs=None,
     ):
         """Immediate: the application binary already sits on the shared FS."""
         if image is not None:
             raise ValueError("bare-metal execution takes no container image")
         self.check(cluster.spec, None)
+        if obs is not None:  # zero-cost deployment, but make it visible
+            obs.add_span("noop", "deploy", env.now, env.now, track="deploy",
+                         runtime=self.name)
         containers = [
             DeployedContainer(
                 runtime_name=self.name,

@@ -60,6 +60,7 @@ class CharliecloudRuntime(ContainerRuntime):
         image: Optional[SIFImage] = None,
         registry=None,
         gateway=None,
+        obs=None,
     ):
         if not isinstance(image, SIFImage):
             raise TypeError("Charliecloud consumes flattened squashfs images")
@@ -70,50 +71,47 @@ class CharliecloudRuntime(ContainerRuntime):
 
         def per_node(i: int, os_: NodeOS):
             node = cluster.node(os_.node_id)
+            track = f"node-{os_.node_id}"
             # 1. Image header off the parallel filesystem.
-            t = env.now
-            yield cluster.shared_fs.transfer(HEADER_READ_BYTES)
-            self._merge_step(steps, "header_read", env.now - t)
+            with self._step(env, steps, "header_read", obs, track):
+                yield cluster.shared_fs.transfer(HEADER_READ_BYTES)
 
             # 2. Rootless namespace assembly: NO SUID, NO daemon — the
             #    user process unshares USER+MOUNT+PID directly.
-            t = env.now
-            user = os_.processes.fork(
-                os_.processes.init_pid,
-                argv=("slurm-task",),
-                creds=Credentials.user(1000),
-            )
-            container_proc = os_.processes.fork(
-                user.global_pid,
-                argv=(image.entrypoint,),
-                unshare=CHARLIE_KINDS,
-            )
-            assert not container_proc.creds.is_privileged
-            yield env.timeout(NamespaceSet.setup_cost(CHARLIE_KINDS))
-            self._merge_step(steps, "namespaces", env.now - t)
+            with self._step(env, steps, "namespaces", obs, track):
+                user = os_.processes.fork(
+                    os_.processes.init_pid,
+                    argv=("slurm-task",),
+                    creds=Credentials.user(1000),
+                )
+                container_proc = os_.processes.fork(
+                    user.global_pid,
+                    argv=(image.entrypoint,),
+                    unshare=CHARLIE_KINDS,
+                )
+                assert not container_proc.creds.is_privileged
+                yield env.timeout(NamespaceSet.setup_cost(CHARLIE_KINDS))
 
             # 3. FUSE mount of the squashfs.
-            t = env.now
-            table = container_proc.mount_table
-            table.mount_squashfs(image.tree, CONTAINER_ROOT)
-            yield env.timeout(FUSE_MOUNT)
-            yield node.disk.transfer(HEADER_READ_BYTES)
-            self._merge_step(steps, "fuse_mount", env.now - t)
+            with self._step(env, steps, "fuse_mount", obs, track):
+                table = container_proc.mount_table
+                table.mount_squashfs(image.tree, CONTAINER_ROOT)
+                yield env.timeout(FUSE_MOUNT)
+                yield node.disk.transfer(HEADER_READ_BYTES)
 
             # 4. Bind mounts (same policy as the other HPC runtimes).
-            t = env.now
-            binds = [("/home/user", f"{CONTAINER_ROOT}/home/user"),
-                     ("/gpfs/scratch", f"{CONTAINER_ROOT}/scratch")]
-            if image.technique is BuildTechnique.SYSTEM_SPECIFIC:
-                binds.append((HOST_MPI_DIR, f"{CONTAINER_ROOT}/host/mpi"))
-                if os_.has_fabric_userspace:
-                    binds.append(
-                        (HOST_FABRIC_DIR, f"{CONTAINER_ROOT}/host/fabric")
-                    )
-            for src, dst in binds:
-                table.bind(os_.rootfs, src, dst)
-                yield env.timeout(BIND_MOUNT)
-            self._merge_step(steps, "bind_mounts", env.now - t)
+            with self._step(env, steps, "bind_mounts", obs, track):
+                binds = [("/home/user", f"{CONTAINER_ROOT}/home/user"),
+                         ("/gpfs/scratch", f"{CONTAINER_ROOT}/scratch")]
+                if image.technique is BuildTechnique.SYSTEM_SPECIFIC:
+                    binds.append((HOST_MPI_DIR, f"{CONTAINER_ROOT}/host/mpi"))
+                    if os_.has_fabric_userspace:
+                        binds.append(
+                            (HOST_FABRIC_DIR, f"{CONTAINER_ROOT}/host/fabric")
+                        )
+                for src, dst in binds:
+                    table.bind(os_.rootfs, src, dst)
+                    yield env.timeout(BIND_MOUNT)
 
             containers[i] = DeployedContainer(
                 runtime_name=self.name,

@@ -76,6 +76,7 @@ class DockerRuntime(ContainerRuntime):
         image: Optional[OCIImage] = None,
         registry=None,
         gateway=None,
+        obs=None,
     ):
         if not isinstance(image, OCIImage):
             raise TypeError("Docker deploys OCI images")
@@ -88,50 +89,49 @@ class DockerRuntime(ContainerRuntime):
 
         def per_node(i: int, os_: NodeOS):
             node = cluster.node(os_.node_id)
+            track = f"node-{os_.node_id}"
             # 1. Daemon.
-            t = env.now
-            yield env.timeout(DAEMON_START)
-            self._merge_step(steps, "daemon_start", env.now - t)
+            with self._step(env, steps, "daemon_start", obs, track):
+                yield env.timeout(DAEMON_START)
 
             # 2. Pull: compressed layers over the shared registry egress,
             #    then extraction (gunzip CPU and disk write overlap).
             #    A warm layer cache skips both.
             if image.digest not in os_.image_cache:
-                t = env.now
-                yield registry.pull(image.name)
-                self._merge_step(steps, "pull", env.now - t)
-                t = env.now
-                gunzip = env.timeout(image.content_size / GUNZIP_THROUGHPUT)
-                disk = node.disk.transfer(image.content_size)
-                yield env.all_of([gunzip, disk])
-                self._merge_step(steps, "extract", env.now - t)
+                with self._step(env, steps, "pull", obs, track,
+                                nbytes=image.transfer_size):
+                    yield registry.pull(image.name)
+                with self._step(env, steps, "extract", obs, track,
+                                nbytes=image.content_size):
+                    gunzip = env.timeout(image.content_size / GUNZIP_THROUGHPUT)
+                    disk = node.disk.transfer(image.content_size)
+                    yield env.all_of([gunzip, disk])
                 os_.image_cache.add(image.digest)
 
             # 3. Create: namespaces + cgroup + overlay (+ veth unless
             #    --net=host), via daemon.
-            t = env.now
-            init = os_.processes.init_pid  # the daemon runs as root
-            kinds = (
-                DOCKER_KINDS - {NamespaceKind.NET}
-                if self.host_network
-                else DOCKER_KINDS
-            )
-            container_proc = os_.processes.fork(
-                init, argv=(image.entrypoint,), unshare=kinds
-            )
-            cgroup = os_.cgroups.create(f"/docker/{image.name}-{os_.node_id}")
-            os_.cgroups.attach(container_proc.global_pid, cgroup)
-            container_proc.cgroup = cgroup
-            table = container_proc.mount_table
-            table.mount_overlay(image.layer_trees(), "/var/lib/docker/merged")
-            yield env.timeout(
-                DAEMON_API
-                + NamespaceSet.setup_cost(kinds)
-                + CGROUP_SETUP
-                + OVERLAY_MOUNT
-                + (0.0 if self.host_network else VETH_BRIDGE_ATTACH)
-            )
-            self._merge_step(steps, "create", env.now - t)
+            with self._step(env, steps, "create", obs, track):
+                init = os_.processes.init_pid  # the daemon runs as root
+                kinds = (
+                    DOCKER_KINDS - {NamespaceKind.NET}
+                    if self.host_network
+                    else DOCKER_KINDS
+                )
+                container_proc = os_.processes.fork(
+                    init, argv=(image.entrypoint,), unshare=kinds
+                )
+                cgroup = os_.cgroups.create(f"/docker/{image.name}-{os_.node_id}")
+                os_.cgroups.attach(container_proc.global_pid, cgroup)
+                container_proc.cgroup = cgroup
+                table = container_proc.mount_table
+                table.mount_overlay(image.layer_trees(), "/var/lib/docker/merged")
+                yield env.timeout(
+                    DAEMON_API
+                    + NamespaceSet.setup_cost(kinds)
+                    + CGROUP_SETUP
+                    + OVERLAY_MOUNT
+                    + (0.0 if self.host_network else VETH_BRIDGE_ATTACH)
+                )
 
             containers[i] = DeployedContainer(
                 runtime_name=self.name,

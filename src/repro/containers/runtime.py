@@ -10,6 +10,7 @@ It returns one :class:`DeployedContainer` per node plus a
 from __future__ import annotations
 
 import abc
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional, Sequence
 
@@ -104,9 +105,12 @@ class ContainerRuntime(abc.ABC):
         image: Optional[AnyImage],
         registry: Optional["Registry"] = None,
         gateway: Optional["ShifterGateway"] = None,
+        obs=None,
     ):
         """DES generator deploying ``image`` on every node in ``node_os``.
 
+        ``obs`` is an optional :class:`repro.obs.span.Observability`
+        receiving one span per deployment step per node.
         Returns ``(list[DeployedContainer], DeploymentReport)``.
         """
 
@@ -141,6 +145,30 @@ class ContainerRuntime(abc.ABC):
     def _merge_step(steps: dict[str, float], name: str, seconds: float) -> None:
         """Record a step's wall time (keep the max across nodes)."""
         steps[name] = max(steps.get(name, 0.0), seconds)
+
+    @contextmanager
+    def _step(
+        self,
+        env: "Environment",
+        steps: dict[str, float],
+        name: str,
+        obs=None,
+        track: str = "deploy",
+        **attrs,
+    ):
+        """Time one deployment step: folds the body's simulated duration
+        into ``steps`` (critical-path max across nodes) and, when ``obs``
+        is given, records a span on the node's track."""
+        t0 = env.now
+        try:
+            yield
+        finally:
+            self._merge_step(steps, name, env.now - t0)
+            if obs is not None:
+                obs.add_span(
+                    name, "deploy", t0, env.now, track=track,
+                    runtime=self.name, **attrs,
+                )
 
     def __repr__(self) -> str:  # pragma: no cover
         v = f" {self.version}" if self.version else ""

@@ -43,6 +43,7 @@ class ShifterRuntime(ContainerRuntime):
         image: Optional[OCIImage] = None,
         registry=None,
         gateway=None,
+        obs=None,
     ):
         if not isinstance(image, OCIImage):
             raise TypeError(
@@ -55,56 +56,56 @@ class ShifterRuntime(ContainerRuntime):
         steps: dict[str, float] = {}
 
         # 1. Gateway conversion (cached across jobs and nodes).
-        t = env.now
-        flat: FlatImage = yield env.process(gateway.convert(image))
-        self._merge_step(steps, "gateway_convert", env.now - t)
+        with self._step(env, steps, "gateway_convert", obs, track="gateway",
+                        cached=gateway.is_cached(image)):
+            flat: FlatImage = yield env.process(gateway.convert(image))
 
         containers: list[Optional[DeployedContainer]] = [None] * len(node_os)
 
         def per_node(i: int, os_: NodeOS):
             node = cluster.node(os_.node_id)
+            track = f"node-{os_.node_id}"
             # 2. udiRoot setup + namespaces via the SUID helper.
-            t = env.now
-            user = os_.processes.fork(
-                os_.processes.init_pid,
-                argv=("slurm-task",),
-                creds=Credentials.user(1000),
-            )
-            helper_creds = user.creds.escalate_suid()
-            helper = os_.processes.fork(
-                user.global_pid, argv=("shifter-suid",), creds=helper_creds
-            )
-            container_proc = os_.processes.fork(
-                helper.global_pid,
-                argv=(image.entrypoint,),
-                unshare=HPC_KINDS,
-                creds=helper_creds,
-            )
-            yield env.timeout(UDIROOT_SETUP + NamespaceSet.setup_cost(HPC_KINDS))
-            self._merge_step(steps, "namespaces", env.now - t)
+            with self._step(env, steps, "namespaces", obs, track):
+                user = os_.processes.fork(
+                    os_.processes.init_pid,
+                    argv=("slurm-task",),
+                    creds=Credentials.user(1000),
+                )
+                helper_creds = user.creds.escalate_suid()
+                helper = os_.processes.fork(
+                    user.global_pid, argv=("shifter-suid",), creds=helper_creds
+                )
+                container_proc = os_.processes.fork(
+                    helper.global_pid,
+                    argv=(image.entrypoint,),
+                    unshare=HPC_KINDS,
+                    creds=helper_creds,
+                )
+                yield env.timeout(
+                    UDIROOT_SETUP + NamespaceSet.setup_cost(HPC_KINDS)
+                )
 
             # 3. Loop-mount the flattened image from the parallel FS.
-            t = env.now
-            table = container_proc.mount_table
-            table.mount_squashfs(flat.tree, CONTAINER_ROOT)
-            yield env.timeout(LOOP_MOUNT)
-            yield cluster.shared_fs.transfer(1.0e6)  # superblock + metadata
-            self._merge_step(steps, "loop_mount", env.now - t)
+            with self._step(env, steps, "loop_mount", obs, track):
+                table = container_proc.mount_table
+                table.mount_squashfs(flat.tree, CONTAINER_ROOT)
+                yield env.timeout(LOOP_MOUNT)
+                yield cluster.shared_fs.transfer(1.0e6)  # superblock + metadata
 
             # 4. Site-configured bind mounts.
-            t = env.now
-            binds = [("/home/user", f"{CONTAINER_ROOT}/home/user"),
-                     ("/gpfs/scratch", f"{CONTAINER_ROOT}/scratch")]
-            if image.technique is BuildTechnique.SYSTEM_SPECIFIC:
-                binds.append((HOST_MPI_DIR, f"{CONTAINER_ROOT}/host/mpi"))
-                if os_.has_fabric_userspace:
-                    binds.append(
-                        (HOST_FABRIC_DIR, f"{CONTAINER_ROOT}/host/fabric")
-                    )
-            for src, dst in binds:
-                table.bind(os_.rootfs, src, dst)
-                yield env.timeout(BIND_MOUNT)
-            self._merge_step(steps, "bind_mounts", env.now - t)
+            with self._step(env, steps, "bind_mounts", obs, track):
+                binds = [("/home/user", f"{CONTAINER_ROOT}/home/user"),
+                         ("/gpfs/scratch", f"{CONTAINER_ROOT}/scratch")]
+                if image.technique is BuildTechnique.SYSTEM_SPECIFIC:
+                    binds.append((HOST_MPI_DIR, f"{CONTAINER_ROOT}/host/mpi"))
+                    if os_.has_fabric_userspace:
+                        binds.append(
+                            (HOST_FABRIC_DIR, f"{CONTAINER_ROOT}/host/fabric")
+                        )
+                for src, dst in binds:
+                    table.bind(os_.rootfs, src, dst)
+                    yield env.timeout(BIND_MOUNT)
 
             container_proc.creds = helper_creds.drop_privileges()
             containers[i] = DeployedContainer(

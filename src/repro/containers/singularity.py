@@ -52,6 +52,7 @@ class SingularityRuntime(ContainerRuntime):
         image: Optional[SIFImage] = None,
         registry=None,
         gateway=None,
+        obs=None,
     ):
         if not isinstance(image, SIFImage):
             raise TypeError("Singularity deploys SIF images")
@@ -62,54 +63,53 @@ class SingularityRuntime(ContainerRuntime):
 
         def per_node(i: int, os_: NodeOS):
             node = cluster.node(os_.node_id)
+            track = f"node-{os_.node_id}"
             # 1. Read the SIF header off the parallel filesystem.
-            t = env.now
-            yield cluster.shared_fs.transfer(HEADER_READ_BYTES)
-            self._merge_step(steps, "header_read", env.now - t)
+            with self._step(env, steps, "header_read", obs, track):
+                yield cluster.shared_fs.transfer(HEADER_READ_BYTES)
 
             # 2. SUID starter: user creds escalate, unshare Mount+PID.
-            t = env.now
-            user = os_.processes.fork(
-                os_.processes.init_pid,
-                argv=("sbatch-shell",),
-                creds=Credentials.user(1000),
-            )
-            starter_creds = user.creds.escalate_suid()
-            starter = os_.processes.fork(
-                user.global_pid, argv=("starter-suid",), creds=starter_creds
-            )
-            container_proc = os_.processes.fork(
-                starter.global_pid,
-                argv=(image.entrypoint,),
-                unshare=HPC_KINDS,
-                creds=starter_creds,
-            )
-            yield env.timeout(STARTER_EXEC + NamespaceSet.setup_cost(HPC_KINDS))
-            self._merge_step(steps, "namespaces", env.now - t)
+            with self._step(env, steps, "namespaces", obs, track):
+                user = os_.processes.fork(
+                    os_.processes.init_pid,
+                    argv=("sbatch-shell",),
+                    creds=Credentials.user(1000),
+                )
+                starter_creds = user.creds.escalate_suid()
+                starter = os_.processes.fork(
+                    user.global_pid, argv=("starter-suid",), creds=starter_creds
+                )
+                container_proc = os_.processes.fork(
+                    starter.global_pid,
+                    argv=(image.entrypoint,),
+                    unshare=HPC_KINDS,
+                    creds=starter_creds,
+                )
+                yield env.timeout(
+                    STARTER_EXEC + NamespaceSet.setup_cost(HPC_KINDS)
+                )
 
             # 3. Loop-mount the squashfs partition (read-only).
-            t = env.now
-            table = container_proc.mount_table
-            table.mount_squashfs(image.tree, CONTAINER_ROOT)
-            yield env.timeout(LOOP_MOUNT)
-            yield node.disk.transfer(HEADER_READ_BYTES)  # superblock read
-            self._merge_step(steps, "loop_mount", env.now - t)
+            with self._step(env, steps, "loop_mount", obs, track):
+                table = container_proc.mount_table
+                table.mount_squashfs(image.tree, CONTAINER_ROOT)
+                yield env.timeout(LOOP_MOUNT)
+                yield node.disk.transfer(HEADER_READ_BYTES)  # superblock read
 
             # 4. Bind mounts: $HOME, scratch, and the host MPI stack for
             #    system-specific images.
-            t = env.now
-            binds = [("/home/user", f"{CONTAINER_ROOT}/home/user"),
-                     ("/gpfs/scratch", f"{CONTAINER_ROOT}/scratch")]
-            if image.technique is BuildTechnique.SYSTEM_SPECIFIC:
-                binds.append((HOST_MPI_DIR, f"{CONTAINER_ROOT}/host/mpi"))
-                if os_.has_fabric_userspace:
-                    binds.append(
-                        (HOST_FABRIC_DIR, f"{CONTAINER_ROOT}/host/fabric")
-                    )
-            for src, dst in binds:
-                table.bind(os_.rootfs, src, dst)
-                yield env.timeout(BIND_MOUNT)
-            self._merge_step(steps, "bind_mounts", env.now - t)
+            with self._step(env, steps, "bind_mounts", obs, track):
+                binds = [("/home/user", f"{CONTAINER_ROOT}/home/user"),
+                         ("/gpfs/scratch", f"{CONTAINER_ROOT}/scratch")]
+                if image.technique is BuildTechnique.SYSTEM_SPECIFIC:
+                    binds.append((HOST_MPI_DIR, f"{CONTAINER_ROOT}/host/mpi"))
+                    if os_.has_fabric_userspace:
+                        binds.append(
+                            (HOST_FABRIC_DIR, f"{CONTAINER_ROOT}/host/fabric")
+                        )
+                for src, dst in binds:
+                    table.bind(os_.rootfs, src, dst)
+                    yield env.timeout(BIND_MOUNT)
 
             # 5. Drop privileges; the payload runs as the invoking user.
             container_proc.creds = starter_creds.drop_privileges()

@@ -49,6 +49,10 @@ class ExperimentResult:
     #: Mean share of endpoint wall time per phase
     #: (compute/halo/collective/coupling); empty when not instrumented.
     phase_fractions: dict[str, float] = field(default_factory=dict, compare=False)
+    #: Absolute per-phase breakdown of :attr:`elapsed_seconds`, keyed
+    #: ``solver.<phase>`` — the values sum to ``elapsed_seconds`` (within
+    #: float tolerance) whenever :attr:`phase_fractions` is populated.
+    phases: dict[str, float] = field(default_factory=dict, compare=False)
 
     @property
     def deployment_seconds(self) -> float:

@@ -27,13 +27,30 @@ class ExperimentRunner:
     simulated Alya job → collect metrics.
     """
 
-    def run(self, spec: ExperimentSpec) -> ExperimentResult:
+    def run(self, spec: ExperimentSpec, obs=None) -> ExperimentResult:
+        """Execute ``spec``; thread ``obs`` (an
+        :class:`repro.obs.span.Observability`) through every pipeline stage
+        when given."""
         env = Environment()
+        if obs is not None:
+            obs.bind(env)
         cluster = Cluster(env, spec.cluster, num_nodes=spec.n_nodes)
         runtime = make_runtime(spec)
         image = build_image(spec)
         runtime.check(spec.cluster, image)
         registry, gateway = make_distribution(env, image)
+        if obs is not None:
+            # Build + push happen before the simulated clock starts: model
+            # them as zero-duration markers carrying the §B.1 image metrics.
+            obs.add_span(
+                "image.build", "build", 0.0, 0.0, track="driver",
+                image=image.name if image else "(none)",
+                size_bytes=image.size_bytes if image else 0.0,
+            )
+            obs.add_span(
+                "registry.push", "registry", 0.0, 0.0, track="driver",
+                transfer_bytes=image.transfer_size if image else 0.0,
+            )
 
         # Network wiring follows the runtime+image path.
         path = runtime.network_path(image, spec.cluster.fabric)
@@ -48,6 +65,7 @@ class ExperimentRunner:
                 cluster=spec.cluster,
                 node_ids=tuple(range(spec.n_nodes)),
             ),
+            obs=obs,
         )
         job_req = JobRequest(
             name=spec.name,
@@ -67,10 +85,15 @@ class ExperimentRunner:
             n_endpoints = spec.total_ranks
             endpoint_is_node = False
         rankmap = RankMap(n_ranks=n_endpoints, n_nodes=spec.n_nodes)
-        comm = SimComm(env, cluster, rankmap, perf)
+        comm = SimComm(
+            env, cluster, rankmap, perf,
+            tracer=obs.records if obs is not None else None,
+        )
 
         def main():
+            t_submit = env.now
             allocation = yield scheduler.submit(job_req)
+            t_deploy = env.now
             containers, deploy_report = yield env.process(
                 runtime.deploy(
                     env,
@@ -79,8 +102,10 @@ class ExperimentRunner:
                     image,
                     registry=registry,
                     gateway=gateway,
+                    obs=obs,
                 )
             )
+            t_job = env.now
             ctx = ComputeContext(
                 core_peak_flops=spec.cluster.node.core_flops(),
                 sustained_fraction=calibration.sustained_fraction(spec.cluster),
@@ -92,8 +117,10 @@ class ExperimentRunner:
                 endpoint_is_node=endpoint_is_node,
                 ranks_per_node=spec.ranks_per_node,
             )
-            app = SimulatedAlya(spec.workmodel, ctx, sim_steps=spec.sim_steps)
-            job = MpiJob(comm, app.rank_body, containers=containers)
+            app = SimulatedAlya(
+                spec.workmodel, ctx, sim_steps=spec.sim_steps, obs=obs
+            )
+            job = MpiJob(comm, app.rank_body, containers=containers, obs=obs)
             result = yield env.process(job.run())
             scheduler.release(allocation)
             outcome["job"] = result
@@ -102,6 +129,15 @@ class ExperimentRunner:
                 (c.launch_overhead_per_rank for c in containers if c),
                 default=0.0,
             )
+            if obs is not None:
+                obs.add_span("sched.submit", "pipeline", t_submit, t_deploy,
+                             track="driver", job=spec.name)
+                obs.add_span("deploy", "pipeline", t_deploy, t_job,
+                             track="driver", runtime=spec.runtime_name)
+                obs.add_span("job.run", "pipeline", t_job, env.now,
+                             track="driver")
+                obs.add_span("pipeline", "pipeline", t_submit, env.now,
+                             track="driver", spec=spec.name)
 
         env.process(main())
         env.run()
@@ -125,6 +161,22 @@ class ExperimentRunner:
             job_result.elapsed_seconds - outcome["launch_overhead"], 0.0
         )
         avg_step = steps_elapsed / spec.sim_steps
+        elapsed = avg_step * spec.workmodel.nominal_timesteps
+        phases = {
+            f"solver.{k}": frac * elapsed
+            for k, frac in sorted(phase_fractions.items())
+        }
+        if obs is not None:
+            m = obs.metrics
+            m.counter("mpi.messages_sent").inc(job_result.messages_sent)
+            m.counter("mpi.bytes_sent").inc(job_result.bytes_sent)
+            m.counter("mpi.internode_messages").inc(
+                job_result.internode_messages
+            )
+            m.gauge("deploy.total_seconds").set(deploy_report.total_seconds)
+            m.gauge("job.elapsed_seconds").set(job_result.elapsed_seconds)
+            m.gauge("result.avg_step_seconds").set(avg_step)
+            m.gauge("result.elapsed_seconds").set(elapsed)
         return ExperimentResult(
             spec_name=spec.name,
             runtime_name=spec.runtime_name,
@@ -133,7 +185,7 @@ class ExperimentRunner:
             total_ranks=spec.total_ranks,
             threads_per_rank=spec.threads_per_rank,
             avg_step_seconds=avg_step,
-            elapsed_seconds=avg_step * spec.workmodel.nominal_timesteps,
+            elapsed_seconds=elapsed,
             deployment=deploy_report,
             image_size_bytes=image.size_bytes if image else 0.0,
             image_transfer_bytes=image.transfer_size if image else 0.0,
@@ -141,4 +193,5 @@ class ExperimentRunner:
             bytes_sent=job_result.bytes_sent,
             internode_messages=job_result.internode_messages,
             phase_fractions=phase_fractions,
+            phases=phases,
         )

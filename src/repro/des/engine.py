@@ -155,6 +155,20 @@ class Environment:
         self._queue: list[tuple[float, int, Event]] = []
         self._seq = 0
         self._active = True
+        self._step_hook: Optional[Callable[[Event, float], None]] = None
+
+    # -- instrumentation -----------------------------------------------------
+    def set_step_hook(
+        self, hook: Optional[Callable[[Event, float], None]]
+    ) -> None:
+        """Install ``hook(event, time)``, called for every event the loop
+        processes (before its callbacks run); ``None`` uninstalls.
+
+        This is the event-loop attachment point of
+        :meth:`repro.obs.span.Observability.attach_engine`; with no hook
+        installed the per-step cost is a single ``is not None`` check.
+        """
+        self._step_hook = hook
 
     # -- clock --------------------------------------------------------------
     @property
@@ -202,6 +216,8 @@ class Environment:
             raise SimulationError("step() on an empty event queue")
         when, _, event = heapq.heappop(self._queue)
         self._now = when
+        if self._step_hook is not None:
+            self._step_hook(event, when)
         callbacks = event.callbacks
         event.callbacks = None
         assert callbacks is not None

@@ -47,6 +47,10 @@ class Tracer:
         self._limit = limit
         self.records: list[TraceRecord] = []
         self.dropped = 0
+        #: Per-category overflow counts — a consumer summing
+        #: :meth:`counts` can see exactly which categories the limit
+        #: truncated instead of silently reading skewed totals.
+        self.dropped_by_category: dict[str, int] = {}
 
     def wants(self, category: str) -> bool:
         """Whether this tracer records ``category`` (cheap pre-check)."""
@@ -57,13 +61,24 @@ class Tracer:
         if not self.wants(category):
             return
         if len(self.records) >= self._limit:
-            self.dropped += 1
+            self._drop(category)
             return
         self.records.append(TraceRecord(time, category, label, data))
+
+    def _drop(self, category: str) -> None:
+        self.dropped += 1
+        self.dropped_by_category[category] = (
+            self.dropped_by_category.get(category, 0) + 1
+        )
 
     # -- queries ---------------------------------------------------------------
     def __len__(self) -> int:
         return len(self.records)
+
+    @property
+    def total_seen(self) -> int:
+        """Records offered past the category filter: stored + dropped."""
+        return len(self.records) + self.dropped
 
     def by_category(self, category: str) -> list[TraceRecord]:
         """All records of one category, in time order."""
@@ -81,3 +96,26 @@ class Tracer:
         if not self.records:
             return (0.0, 0.0)
         return (self.records[0].time, self.records[-1].time)
+
+    # -- merging ------------------------------------------------------------
+    def merge(self, other: "Tracer") -> None:
+        """Fold another tracer's records in, preserving counts.
+
+        Records ``other`` already accepted bypass this tracer's category
+        filter (they were wanted where they were recorded); the limit
+        still applies, with overflow counted as dropped.  Afterwards
+        ``total_seen`` has grown by exactly ``other.total_seen``, and
+        the stored records are re-sorted by time so :meth:`by_category`
+        and :meth:`time_span` stay correct.
+        """
+        for r in other.records:
+            if len(self.records) >= self._limit:
+                self._drop(r.category)
+            else:
+                self.records.append(r)
+        self.dropped += other.dropped
+        for cat, n in sorted(other.dropped_by_category.items()):
+            self.dropped_by_category[cat] = (
+                self.dropped_by_category.get(cat, 0) + n
+            )
+        self.records.sort(key=lambda r: r.time)

@@ -35,8 +35,19 @@ def _largest_pof2(p: int) -> int:
     return 1 << (p.bit_length() - 1)
 
 
+def _trace(comm: "SimComm", rank: int, op: int, name: str, nbytes: float) -> None:
+    """Emit one ``mpi.collective`` record at collective entry (per rank)."""
+    tracer = getattr(comm, "tracer", None)
+    if tracer is not None and tracer.wants("mpi.collective"):
+        tracer.record(
+            comm.env.now, "mpi.collective", name,
+            rank=rank, op=op, nbytes=nbytes, size=comm.size,
+        )
+
+
 def bcast(comm: "SimComm", rank: int, op: int, nbytes: float, root: int = 0):
     """Binomial-tree broadcast of ``nbytes`` from ``root``."""
+    _trace(comm, rank, op, "bcast", nbytes)
     p = comm.size
     if p == 1:
         return
@@ -64,6 +75,7 @@ def bcast(comm: "SimComm", rank: int, op: int, nbytes: float, root: int = 0):
 
 def reduce(comm: "SimComm", rank: int, op: int, nbytes: float, root: int = 0):
     """Binomial-tree reduction towards ``root``."""
+    _trace(comm, rank, op, "reduce", nbytes)
     p = comm.size
     if p == 1:
         return
@@ -85,6 +97,7 @@ def reduce(comm: "SimComm", rank: int, op: int, nbytes: float, root: int = 0):
 
 def allreduce(comm: "SimComm", rank: int, op: int, nbytes: float):
     """Recursive-doubling allreduce (MPICH default for short payloads)."""
+    _trace(comm, rank, op, "allreduce", nbytes)
     p = comm.size
     if p == 1:
         return
@@ -120,6 +133,7 @@ def allreduce(comm: "SimComm", rank: int, op: int, nbytes: float):
 def allreduce_ring(comm: "SimComm", rank: int, op: int, nbytes: float):
     """Ring allreduce: reduce-scatter then allgather, 2(p-1) rounds of
     ``nbytes/p`` — bandwidth-optimal for large payloads."""
+    _trace(comm, rank, op, "allreduce_ring", nbytes)
     p = comm.size
     if p == 1:
         return
@@ -138,6 +152,7 @@ def reduce_scatter(comm: "SimComm", rank: int, op: int, nbytes: float):
     Power-of-two sizes only (callers handle the general case); each of the
     log2(p) rounds exchanges half of the remaining vector.
     """
+    _trace(comm, rank, op, "reduce_scatter", nbytes)
     p = comm.size
     if p == 1:
         return
@@ -163,6 +178,7 @@ def allgather_recursive_doubling(
 
     Power-of-two sizes only; round *k* exchanges ``nbytes * 2^k / p``.
     """
+    _trace(comm, rank, op, "allgather_rd", nbytes)
     p = comm.size
     if p == 1:
         return
@@ -188,6 +204,7 @@ def allreduce_rabenseifner(comm: "SimComm", rank: int, op: int, nbytes: float):
     bandwidth-optimal like the ring but with logarithmic latency, the
     MPICH choice for large payloads.  Power-of-two sizes only.
     """
+    _trace(comm, rank, op, "allreduce_rabenseifner", nbytes)
     p = comm.size
     if p == 1:
         return
@@ -199,6 +216,7 @@ def allreduce_rabenseifner(comm: "SimComm", rank: int, op: int, nbytes: float):
 
 def allgather(comm: "SimComm", rank: int, op: int, nbytes_per_rank: float):
     """Ring allgather: p-1 neighbour exchanges of one block each."""
+    _trace(comm, rank, op, "allgather", nbytes_per_rank)
     p = comm.size
     if p == 1:
         return
@@ -213,6 +231,7 @@ def allgather(comm: "SimComm", rank: int, op: int, nbytes_per_rank: float):
 def gather(comm: "SimComm", rank: int, op: int, nbytes_per_rank: float,
            root: int = 0):
     """Binomial gather; message sizes grow as subtrees merge."""
+    _trace(comm, rank, op, "gather", nbytes_per_rank)
     p = comm.size
     if p == 1:
         return
@@ -240,6 +259,7 @@ def gather(comm: "SimComm", rank: int, op: int, nbytes_per_rank: float,
 def scatter(comm: "SimComm", rank: int, op: int, nbytes_per_rank: float,
             root: int = 0):
     """Binomial scatter; message sizes halve down the tree."""
+    _trace(comm, rank, op, "scatter", nbytes_per_rank)
     p = comm.size
     if p == 1:
         return
@@ -268,6 +288,7 @@ def scatter(comm: "SimComm", rank: int, op: int, nbytes_per_rank: float,
 
 def alltoall(comm: "SimComm", rank: int, op: int, nbytes_per_pair: float):
     """Pairwise-exchange alltoall: p-1 rounds."""
+    _trace(comm, rank, op, "alltoall", nbytes_per_pair)
     p = comm.size
     for r in range(1, p):
         dst = (rank + r) % p
@@ -279,6 +300,7 @@ def alltoall(comm: "SimComm", rank: int, op: int, nbytes_per_pair: float):
 
 def barrier(comm: "SimComm", rank: int, op: int):
     """Dissemination barrier with 1-byte tokens."""
+    _trace(comm, rank, op, "barrier", 0.0)
     p = comm.size
     k = 1
     round_id = 0

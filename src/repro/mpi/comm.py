@@ -208,6 +208,10 @@ class GroupComm:
         return self.parent.env
 
     @property
+    def tracer(self):
+        return self.parent.tracer
+
+    @property
     def size(self) -> int:
         return len(self.members)
 

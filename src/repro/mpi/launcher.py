@@ -67,10 +67,14 @@ class MpiJob:
         comm: SimComm,
         body: Callable[[SimComm, int], object],
         containers: Optional[Sequence["DeployedContainer"]] = None,
+        obs=None,
     ) -> None:
         self.comm = comm
         self.body = body
         self.containers = list(containers) if containers else None
+        #: Optional :class:`repro.obs.span.Observability`: ``mpi.launch``
+        #: and ``mpi.job`` spans on the ``driver`` track.
+        self.obs = obs
 
     def _launch_overhead(self) -> float:
         if not self.containers:
@@ -86,8 +90,15 @@ class MpiJob:
             self.comm.bytes_sent,
             self.comm.internode_messages,
         )
-        procs = run_spmd(self.comm, self.body, self._launch_overhead())
+        overhead = self._launch_overhead()
+        procs = run_spmd(self.comm, self.body, overhead)
         yield env.all_of(procs)
+        if self.obs is not None:
+            if overhead > 0:
+                self.obs.add_span("mpi.launch", "launch", t0, t0 + overhead,
+                                  track="driver", ranks=self.comm.size)
+            self.obs.add_span("mpi.job", "job", t0, env.now,
+                              track="driver", ranks=self.comm.size)
         return JobResult(
             elapsed_seconds=env.now - t0,
             rank_results=[p.value for p in procs],

@@ -1,0 +1,183 @@
+"""Exporters: Chrome trace events, metric dumps, canonical trace digest.
+
+Three consumers, three formats:
+
+- :func:`chrome_trace` — the Trace Event Format dict that
+  ``chrome://tracing`` and Perfetto load directly (complete ``"X"``
+  events for spans, instant ``"i"`` events for raw trace records,
+  metadata events naming the tracks);
+- :func:`metrics_dump` / :func:`metrics_csv` — flat metric payloads,
+  always including the tracers' drop accounting so overflow is explicit;
+- :func:`trace_digest` — SHA-256 over a canonical (sorted, separator-
+  stable) JSON normalisation of spans + records + metrics.  Two runs of
+  the same :class:`~repro.core.experiment.ExperimentSpec` must produce
+  the same digest; the determinism test suite asserts exactly that.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.span import Observability
+
+#: Simulated seconds → trace-event microseconds.
+_US = 1e6
+
+
+def _json_safe(value: Any) -> Any:
+    """Normalise attribute values for JSON payloads (enums, objects...)."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    return str(value)
+
+
+# -- Chrome trace ------------------------------------------------------------
+def chrome_trace(obs: "Observability", include_records: bool = True) -> dict:
+    """The run as a Trace Event Format dict (Perfetto-loadable)."""
+    tracks = obs.spans.tracks()
+    if include_records and len(obs.records):
+        tracks = sorted(set(tracks) | {"events"})
+    # "driver" first, the rest alphabetical — matches reading order.
+    tracks.sort(key=lambda t: (t != "driver", t))
+    tid_of = {track: i + 1 for i, track in enumerate(tracks)}
+
+    events: list[dict] = []
+    for track, tid in tid_of.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": track},
+            }
+        )
+        events.append(
+            {
+                "name": "thread_sort_index",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"sort_index": tid},
+            }
+        )
+    for s in sorted(obs.spans.spans, key=lambda s: (s.start, s.span_id)):
+        events.append(
+            {
+                "name": s.name,
+                "cat": s.category,
+                "ph": "X",
+                "ts": s.start * _US,
+                "dur": s.duration * _US,
+                "pid": 1,
+                "tid": tid_of[s.track],
+                "args": _json_safe(dict(s.attrs)),
+            }
+        )
+    if include_records:
+        for r in obs.records.records:
+            events.append(
+                {
+                    "name": f"{r.category}:{r.label}",
+                    "cat": r.category,
+                    "ph": "i",
+                    "s": "g",
+                    "ts": r.time * _US,
+                    "pid": 1,
+                    "tid": tid_of["events"],
+                    "args": _json_safe(dict(r.data)),
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str | Path, obs: "Observability") -> Path:
+    """Serialise :func:`chrome_trace` to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(obs)))
+    return path
+
+
+# -- metric dumps ------------------------------------------------------------
+def metrics_dump(obs: "Observability") -> dict:
+    """All metrics plus the tracers' drop accounting, dump-ready."""
+    return {"metrics": obs.metrics.to_dict(), "trace": obs.drop_stats()}
+
+
+def metrics_csv(obs: "Observability") -> str:
+    """Flat CSV: ``name,kind,field,value`` — one row per scalar field."""
+    lines = ["name,kind,field,value"]
+    for name, payload in metrics_dump(obs)["metrics"].items():
+        kind = payload["kind"]
+        for fld in sorted(payload):
+            if fld == "kind":
+                continue
+            value = payload[fld]
+            if isinstance(value, list):
+                value = ";".join(str(v) for v in value)
+            lines.append(f"{name},{kind},{fld},{value}")
+    for fld, value in sorted(obs.drop_stats().items()):
+        if isinstance(value, dict):
+            value = ";".join(f"{k}={v}" for k, v in sorted(value.items()))
+        lines.append(f"trace,trace,{fld},{value}")
+    return "\n".join(lines) + "\n"
+
+
+# -- canonical digest ---------------------------------------------------------
+def canonical_payload(obs: "Observability") -> dict:
+    """Normalised view of a run: what the digest is computed over.
+
+    Spans sort by (start, end, track, id); records keep their (already
+    time-ordered) sequence; metric and attribute keys are sorted.  All
+    numbers pass through unchanged — any float divergence between two
+    runs is *supposed* to change the digest.
+    """
+    spans = [
+        {
+            "id": s.span_id,
+            "parent": s.parent_id,
+            "name": s.name,
+            "category": s.category,
+            "track": s.track,
+            "start": s.start,
+            "end": s.end,
+            "attrs": _json_safe(dict(s.attrs)),
+        }
+        for s in sorted(
+            obs.spans.spans, key=lambda s: (s.start, s.end, s.track, s.span_id)
+        )
+    ]
+    records = [
+        {
+            "time": r.time,
+            "category": r.category,
+            "label": r.label,
+            "data": _json_safe(dict(r.data)),
+        }
+        for r in obs.records.records
+    ]
+    return {
+        "spans": spans,
+        "records": records,
+        "metrics": obs.metrics.to_dict(),
+        "dropped": obs.drop_stats(),
+    }
+
+
+def trace_digest(obs: "Observability") -> str:
+    """Stable SHA-256 hex digest of :func:`canonical_payload`."""
+    blob = json.dumps(
+        canonical_payload(obs),
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=False,
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

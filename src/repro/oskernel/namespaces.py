@@ -95,8 +95,14 @@ class NamespaceSet:
 
     @staticmethod
     def setup_cost(kinds: Iterable[NamespaceKind]) -> float:
-        """Total kernel time (s) to unshare ``kinds``."""
-        return sum(SETUP_COST[k] for k in kinds)
+        """Total kernel time (s) to unshare ``kinds``.
+
+        Summed in sorted-kind order: set iteration order varies between
+        processes (enum members hash by id), and float addition is not
+        associative, so an unordered sum would make deployment times —
+        and therefore trace digests — differ across processes.
+        """
+        return sum(SETUP_COST[k] for k in sorted(kinds, key=lambda k: k.value))
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<NamespaceSet {sorted(k.value for k in self._ns)}>"

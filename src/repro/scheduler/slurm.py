@@ -46,14 +46,21 @@ class SlurmScheduler:
     "Requested node configuration is not available").
     """
 
-    def __init__(self, env: "Environment", partition: Partition) -> None:
+    def __init__(
+        self, env: "Environment", partition: Partition, obs=None
+    ) -> None:
         self.env = env
         self.partition = partition
+        #: Optional :class:`repro.obs.span.Observability`: queue spans on
+        #: the ``scheduler`` track, submission/start counters, and a
+        #: queue-wait histogram.
+        self.obs = obs
         self._free: set[int] = set(partition.node_ids)
         self._queue: list[JobRequest] = []
         self._states: dict[int, JobState] = {}
         self._allocations: dict[int, Allocation] = {}
         self._waiters: dict[int, object] = {}
+        self._submitted_at: dict[int, float] = {}
 
     # -- submission ---------------------------------------------------------
     def validate(self, job: JobRequest) -> None:
@@ -82,6 +89,9 @@ class SlurmScheduler:
         ev = self.env.event()
         self._queue.append(job)
         self._waiters[job.job_id] = ev
+        self._submitted_at[job.job_id] = self.env.now
+        if self.obs is not None:
+            self.obs.metrics.counter("sched.jobs_submitted").inc()
         self._try_schedule()
         return ev
 
@@ -103,6 +113,7 @@ class SlurmScheduler:
         self._queue.remove(job)
         self._states[job.job_id] = JobState.CANCELLED
         self._waiters.pop(job.job_id)
+        self._submitted_at.pop(job.job_id, None)
 
     def state_of(self, job: JobRequest) -> JobState:
         try:
@@ -129,4 +140,14 @@ class SlurmScheduler:
                                granted_at=self.env.now)
             self._allocations[job.job_id] = alloc
             self._states[job.job_id] = JobState.RUNNING
+            if self.obs is not None:
+                submitted = self._submitted_at.pop(job.job_id, self.env.now)
+                self.obs.add_span(
+                    "sched.queue", "sched", submitted, self.env.now,
+                    track="scheduler", job=job.name, nodes=job.nodes,
+                )
+                self.obs.metrics.counter("sched.jobs_started").inc()
+                self.obs.metrics.histogram("sched.queue_wait_seconds").observe(
+                    self.env.now - submitted
+                )
             self._waiters.pop(job.job_id).succeed(alloc)

@@ -41,6 +41,62 @@ def test_limit_counts_drops():
     assert tr.dropped == 3
 
 
+def test_overflow_accounted_per_category():
+    tr = Tracer(limit=3)
+    tr.record(0.0, "a", "kept")
+    tr.record(1.0, "b", "kept")
+    tr.record(2.0, "a", "kept")
+    tr.record(3.0, "a", "lost")
+    tr.record(4.0, "c", "lost")
+    assert tr.dropped == 2
+    assert tr.dropped_by_category == {"a": 1, "c": 1}
+    assert tr.total_seen == 5
+    # stored counts + per-category drops reconstruct what was offered
+    offered = tr.counts()
+    for cat, n in tr.dropped_by_category.items():
+        offered[cat] = offered.get(cat, 0) + n
+    assert offered == {"a": 3, "b": 1, "c": 1}
+
+
+def test_filtered_records_are_not_counted_as_dropped():
+    tr = Tracer(categories={"keep"}, limit=1)
+    tr.record(0.0, "drop", "x")  # filtered, not an overflow drop
+    assert tr.dropped == 0 and tr.total_seen == 0
+    tr.record(1.0, "keep", "y")
+    tr.record(2.0, "keep", "z")  # overflow
+    assert tr.dropped == 1
+    assert tr.dropped_by_category == {"keep": 1}
+    assert tr.total_seen == 2
+
+
+def test_merge_preserves_counts_and_order():
+    a = Tracer(limit=3)
+    a.record(5.0, "a", "late")
+    b = Tracer(categories={"keep"})
+    b.record(1.0, "keep", "x")
+    b.record(2.0, "keep", "y")
+    b.record(3.0, "keep", "z")  # overflows a's limit on merge
+    expect = a.total_seen + b.total_seen
+    a.merge(b)
+    assert a.total_seen == expect == 4
+    assert len(a) == 3
+    assert a.dropped == 1
+    assert a.dropped_by_category == {"keep": 1}
+    # merged records re-sorted by time; b's records bypassed a's filter
+    assert [r.time for r in a.records] == [1.0, 2.0, 5.0]
+
+
+def test_merge_carries_other_drop_accounting():
+    a = Tracer()
+    b = Tracer(limit=1)
+    b.record(0.0, "c", "kept")
+    b.record(1.0, "c", "lost")
+    a.merge(b)
+    assert a.dropped == 1
+    assert a.dropped_by_category == {"c": 1}
+    assert a.total_seen == 2
+
+
 def test_empty_time_span():
     assert Tracer().time_span() == (0.0, 0.0)
 

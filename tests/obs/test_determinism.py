@@ -1,0 +1,136 @@
+"""Determinism: identical specs must yield identical trace digests.
+
+Two layers of evidence:
+
+- in-process: running the same :class:`ExperimentSpec` twice through
+  fresh environments produces byte-identical canonical payloads (and so
+  equal digests) for both a Fig.1-style and a Fig.3-style run;
+- cross-process: the digest survives ``PYTHONHASHSEED`` variation — i.e.
+  nothing in the pipeline leaks set/dict iteration order into simulated
+  time (the classic hazard being float sums over unordered collections).
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.containers.recipes import BuildTechnique
+from repro.core import calibration
+from repro.core.experiment import EndpointGranularity, ExperimentSpec
+from repro.core.runner import ExperimentRunner
+from repro.hardware import catalog
+from repro.obs import Observability, canonical_payload, trace_digest
+
+SRC_ROOT = Path(repro.__file__).resolve().parents[1]
+
+
+def fig1_spec(runtime: str = "docker") -> ExperimentSpec:
+    """The 28x4 Lenox probe of Fig. 1, at rank granularity."""
+    return ExperimentSpec(
+        name=f"det-fig1-{runtime}",
+        cluster=catalog.LENOX,
+        runtime_name=runtime,
+        technique=(
+            None if runtime == "bare-metal" else BuildTechnique.SELF_CONTAINED
+        ),
+        workmodel=calibration.lenox_cfd_workmodel(),
+        n_nodes=4,
+        ranks_per_node=7,
+        threads_per_rank=4,
+        sim_steps=1,
+        granularity=EndpointGranularity.RANK,
+    )
+
+
+def fig3_spec() -> ExperimentSpec:
+    """A Fig. 3-style MareNostrum4 FSI run at node granularity."""
+    return ExperimentSpec(
+        name="det-fig3",
+        cluster=catalog.MARENOSTRUM4,
+        runtime_name="singularity",
+        technique=BuildTechnique.SYSTEM_SPECIFIC,
+        workmodel=calibration.mn4_fsi_workmodel(),
+        n_nodes=4,
+        ranks_per_node=catalog.MARENOSTRUM4.node.cores,
+        threads_per_rank=1,
+        sim_steps=1,
+        granularity=EndpointGranularity.NODE,
+    )
+
+
+def run_traced(spec: ExperimentSpec):
+    obs = Observability()
+    result = ExperimentRunner().run(spec, obs=obs)
+    return result, obs
+
+
+@pytest.mark.parametrize("make_spec", [fig1_spec, fig3_spec],
+                         ids=["fig1", "fig3"])
+def test_same_spec_same_digest(make_spec):
+    r1, obs1 = run_traced(make_spec())
+    r2, obs2 = run_traced(make_spec())
+    assert canonical_payload(obs1) == canonical_payload(obs2)
+    assert trace_digest(obs1) == trace_digest(obs2)
+    assert r1.elapsed_seconds == r2.elapsed_seconds
+    assert r1.phases == r2.phases
+
+
+def test_phases_reconcile_with_elapsed():
+    result, _ = run_traced(fig1_spec())
+    assert result.phases  # populated
+    assert sum(result.phases.values()) == pytest.approx(
+        result.elapsed_seconds, rel=1e-9
+    )
+
+
+_CHILD = """
+import json, sys
+from repro.containers.recipes import BuildTechnique
+from repro.core import calibration
+from repro.core.experiment import EndpointGranularity, ExperimentSpec
+from repro.core.runner import ExperimentRunner
+from repro.hardware import catalog
+from repro.obs import Observability, trace_digest
+
+spec = ExperimentSpec(
+    name="det-hashseed",
+    cluster=catalog.LENOX,
+    runtime_name="docker",
+    technique=BuildTechnique.SELF_CONTAINED,
+    workmodel=calibration.lenox_cfd_workmodel(),
+    n_nodes=4,
+    ranks_per_node=2,
+    threads_per_rank=1,
+    sim_steps=1,
+    granularity=EndpointGranularity.RANK,
+)
+obs = Observability()
+result = ExperimentRunner().run(spec, obs=obs)
+json.dump(
+    {"digest": trace_digest(obs), "elapsed": result.elapsed_seconds},
+    sys.stdout,
+)
+"""
+
+
+def _digest_with_hashseed(seed: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = seed
+    env["PYTHONPATH"] = str(SRC_ROOT)
+    out = subprocess.run(
+        [sys.executable, "-c", _CHILD],
+        capture_output=True, text=True, env=env, check=True,
+    )
+    return json.loads(out.stdout)
+
+
+def test_digest_survives_hashseed_variation():
+    a = _digest_with_hashseed("0")
+    b = _digest_with_hashseed("12345")
+    assert a["digest"] == b["digest"]
+    assert a["elapsed"] == b["elapsed"]

@@ -1,0 +1,171 @@
+"""Golden phase-breakdown regression tests.
+
+The committed JSONs under ``tests/obs/golden/`` pin the per-phase
+breakdown (``ExperimentResult.phases``), elapsed time and trace digest of
+two reference runs:
+
+- ``fig1_golden.json`` — the 112x1 Lenox probe of Fig. 1 for bare-metal,
+  Singularity and Docker;
+- ``fig3_golden.json`` — the 32-node MareNostrum4 FSI run of Fig. 3 for
+  the system-specific and self-contained build techniques.
+
+Each test asserts (a) exact agreement with the golden numbers within
+float tolerance — any model change shows up here first — and (b) the
+paper-shape invariants *on the golden numbers themselves*: Docker slower
+than Singularity ≈ bare-metal at high rank counts, and the
+self-contained image far slower than the system-specific one at scale.
+
+Regenerate after an intentional model change with::
+
+    PYTHONPATH=src python tests/obs/test_golden_traces.py
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.containers.recipes import BuildTechnique
+from repro.core import calibration
+from repro.core.experiment import EndpointGranularity, ExperimentSpec
+from repro.core.runner import ExperimentRunner
+from repro.hardware import catalog
+from repro.obs import Observability, trace_digest
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+REL_TOL = 1e-6
+
+
+def _fig1_spec(runtime: str) -> ExperimentSpec:
+    return ExperimentSpec(
+        name=f"golden-fig1-{runtime}",
+        cluster=catalog.LENOX,
+        runtime_name=runtime,
+        technique=(
+            None if runtime == "bare-metal" else BuildTechnique.SELF_CONTAINED
+        ),
+        workmodel=calibration.lenox_cfd_workmodel(),
+        n_nodes=4,
+        ranks_per_node=28,
+        threads_per_rank=1,
+        sim_steps=1,
+        granularity=EndpointGranularity.RANK,
+    )
+
+
+def _fig3_spec(technique: BuildTechnique) -> ExperimentSpec:
+    return ExperimentSpec(
+        name=f"golden-fig3-{technique.value}",
+        cluster=catalog.MARENOSTRUM4,
+        runtime_name="singularity",
+        technique=technique,
+        workmodel=calibration.mn4_fsi_workmodel(),
+        n_nodes=32,
+        ranks_per_node=catalog.MARENOSTRUM4.node.cores,
+        threads_per_rank=1,
+        sim_steps=1,
+        granularity=EndpointGranularity.NODE,
+    )
+
+
+FIG1_RUNTIMES = ("bare-metal", "singularity", "docker")
+FIG3_TECHNIQUES = (
+    BuildTechnique.SYSTEM_SPECIFIC,
+    BuildTechnique.SELF_CONTAINED,
+)
+
+
+def _measure(spec: ExperimentSpec) -> dict:
+    obs = Observability()
+    result = ExperimentRunner().run(spec, obs=obs)
+    return {
+        "elapsed_seconds": result.elapsed_seconds,
+        "avg_step_seconds": result.avg_step_seconds,
+        "deployment_seconds": result.deployment_seconds,
+        "phases": result.phases,
+        "digest": trace_digest(obs),
+    }
+
+
+def _load(name: str) -> dict:
+    return json.loads((GOLDEN_DIR / name).read_text())
+
+
+def _assert_matches(measured: dict, golden: dict) -> None:
+    assert measured["digest"] == golden["digest"]
+    for key in ("elapsed_seconds", "avg_step_seconds", "deployment_seconds"):
+        assert measured[key] == pytest.approx(golden[key], rel=REL_TOL)
+    assert set(measured["phases"]) == set(golden["phases"])
+    for phase, value in golden["phases"].items():
+        assert measured["phases"][phase] == pytest.approx(
+            value, rel=REL_TOL, abs=1e-12
+        )
+
+
+@pytest.mark.parametrize("runtime", FIG1_RUNTIMES)
+def test_fig1_golden_matches(runtime):
+    golden = _load("fig1_golden.json")
+    _assert_matches(_measure(_fig1_spec(runtime)), golden[runtime])
+
+
+@pytest.mark.parametrize("technique", FIG3_TECHNIQUES,
+                         ids=lambda t: t.value)
+def test_fig3_golden_matches(technique):
+    golden = _load("fig3_golden.json")
+    _assert_matches(_measure(_fig3_spec(technique)), golden[technique.value])
+
+
+def test_fig1_golden_shape_docker_slowest():
+    """Fig. 1 at 112 ranks: Docker clearly slower, Singularity tracks
+    bare-metal — asserted per phase on the golden numbers."""
+    golden = _load("fig1_golden.json")
+    bare = golden["bare-metal"]
+    sing = golden["singularity"]
+    dock = golden["docker"]
+    assert dock["elapsed_seconds"] > 1.05 * bare["elapsed_seconds"]
+    assert dock["elapsed_seconds"] > 1.05 * sing["elapsed_seconds"]
+    assert sing["elapsed_seconds"] == pytest.approx(
+        bare["elapsed_seconds"], rel=0.10
+    )
+    # The gap is a communication story: Docker's bridged network inflates
+    # halo+collective far beyond its ~0.5% compute overhead.
+    comm = lambda g: g["phases"]["solver.halo"] + g["phases"]["solver.collective"]
+    assert comm(dock) > 1.5 * comm(bare)
+    assert dock["phases"]["solver.compute"] == pytest.approx(
+        bare["phases"]["solver.compute"], rel=0.02
+    )
+
+
+def test_fig3_golden_shape_self_contained_penalty():
+    """Fig. 3 at 32 nodes: the self-contained (embedded-MPI) image pays
+    a large communication penalty against the system-specific build."""
+    golden = _load("fig3_golden.json")
+    sys_spec = golden[BuildTechnique.SYSTEM_SPECIFIC.value]
+    self_cont = golden[BuildTechnique.SELF_CONTAINED.value]
+    assert self_cont["elapsed_seconds"] > 1.5 * sys_spec["elapsed_seconds"]
+    comm = lambda g: (
+        g["phases"]["solver.halo"]
+        + g["phases"]["solver.collective"]
+        + g["phases"]["solver.coupling"]
+    )
+    assert comm(self_cont) > 1.5 * comm(sys_spec)
+    # Arithmetic is unaffected by the MPI stack inside the image.
+    assert self_cont["phases"]["solver.compute"] == pytest.approx(
+        sys_spec["phases"]["solver.compute"], rel=0.02
+    )
+
+
+def _regenerate() -> None:  # pragma: no cover - maintenance helper
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    fig1 = {rt: _measure(_fig1_spec(rt)) for rt in FIG1_RUNTIMES}
+    fig3 = {t.value: _measure(_fig3_spec(t)) for t in FIG3_TECHNIQUES}
+    for name, payload in (("fig1_golden.json", fig1),
+                          ("fig3_golden.json", fig3)):
+        (GOLDEN_DIR / name).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {GOLDEN_DIR / name}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    _regenerate()

@@ -1,0 +1,140 @@
+"""Unit tests for the metric instruments and their registry."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_TIME_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+)
+
+
+def test_counter_inc_and_merge():
+    a = Counter("c")
+    a.inc()
+    a.inc(4)
+    assert a.value == 5
+    b = Counter("c")
+    b.inc(2.5)
+    a.merge(b)
+    assert a.value == 7.5
+    assert a.to_dict() == {"kind": "counter", "value": 7.5}
+
+
+def test_counter_rejects_negative():
+    with pytest.raises(MetricError):
+        Counter("c").inc(-1)
+
+
+def test_gauge_tracks_extrema():
+    g = Gauge("g")
+    assert g.min is None and g.max is None
+    g.set(3.0)
+    g.set(-1.0)
+    g.set(2.0)
+    assert (g.value, g.min, g.max) == (2.0, -1.0, 3.0)
+
+
+def test_gauge_merge_last_wins_extrema_union():
+    a, b = Gauge("g"), Gauge("g")
+    a.set(5.0)
+    b.set(-2.0)
+    b.set(1.0)
+    a.merge(b)
+    assert (a.value, a.min, a.max) == (1.0, -2.0, 5.0)
+    # Merging an empty gauge changes nothing.
+    a.merge(Gauge("g"))
+    assert (a.value, a.min, a.max) == (1.0, -2.0, 5.0)
+
+
+def test_histogram_bucketing_edges():
+    h = Histogram("h", bounds=(1.0, 10.0))
+    h.observe(0.5)   # <= 1.0  -> bucket 0
+    h.observe(1.0)   # == edge -> bucket 0 (v <= edge)
+    h.observe(5.0)   # bucket 1
+    h.observe(100.0)  # overflow bucket
+    assert h.counts == [2, 1, 1]
+    assert h.count == 4
+    assert h.sum == pytest.approx(106.5)
+
+
+def test_histogram_invalid_bounds_and_values():
+    with pytest.raises(MetricError):
+        Histogram("h", bounds=())
+    with pytest.raises(MetricError):
+        Histogram("h", bounds=(1.0, 1.0))
+    with pytest.raises(MetricError):
+        Histogram("h", bounds=(2.0, 1.0))
+    with pytest.raises(MetricError):
+        Histogram("h").observe(-0.1)
+
+
+def test_histogram_merge_requires_identical_bounds():
+    a = Histogram("h", bounds=(1.0, 2.0))
+    b = Histogram("h", bounds=(1.0, 3.0))
+    with pytest.raises(MetricError):
+        a.merge(b)
+    c = Histogram("h", bounds=(1.0, 2.0))
+    c.observe(0.5)
+    a.observe(1.5)
+    a.merge(c)
+    assert a.counts == [1, 1, 0]
+    assert a.count == 2
+
+
+def test_default_time_bounds_are_strictly_increasing():
+    assert all(
+        b2 > b1
+        for b1, b2 in zip(DEFAULT_TIME_BOUNDS, DEFAULT_TIME_BOUNDS[1:])
+    )
+    assert DEFAULT_TIME_BOUNDS[0] == pytest.approx(1e-6)
+    assert DEFAULT_TIME_BOUNDS[-1] == 1000.0
+
+
+def test_registry_get_or_create_and_kind_collision():
+    reg = MetricsRegistry()
+    c = reg.counter("x")
+    assert reg.counter("x") is c
+    with pytest.raises(MetricError):
+        reg.gauge("x")
+    with pytest.raises(MetricError):
+        reg.histogram("x")
+    assert "x" in reg
+    assert len(reg) == 1
+    assert reg.get("x") is c
+    with pytest.raises(KeyError):
+        reg.get("missing")
+
+
+def test_registry_histogram_bounds_collision():
+    reg = MetricsRegistry()
+    reg.histogram("h", bounds=(1.0, 2.0))
+    with pytest.raises(MetricError):
+        reg.histogram("h", bounds=(1.0, 3.0))
+    # Same bounds re-request is fine.
+    assert reg.histogram("h", bounds=(1.0, 2.0)).bounds == (1.0, 2.0)
+
+
+def test_registry_merge_creates_missing_instruments():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    b.counter("c").inc(3)
+    b.gauge("g").set(7.0)
+    b.histogram("h", bounds=(1.0,)).observe(0.5)
+    a.counter("c").inc(1)
+    a.merge(b)
+    assert a.counter("c").value == 4
+    assert a.gauge("g").value == 7.0
+    assert a.get("h").counts == [1, 0]
+    assert a.names() == ["c", "g", "h"]
+
+
+def test_registry_to_dict_sorted_and_stable():
+    reg = MetricsRegistry()
+    reg.counter("zeta").inc()
+    reg.gauge("alpha").set(1.0)
+    dump = reg.to_dict()
+    assert list(dump) == ["alpha", "zeta"]
+    assert dump["zeta"]["value"] == 1

@@ -1,0 +1,148 @@
+"""Property-based tests for metric merges and tracer drop accounting."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.des.trace import Tracer
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+from repro.obs.span import SpanTracer
+
+finite_nonneg = st.floats(
+    min_value=0.0, max_value=1e12, allow_nan=False, allow_infinity=False
+)
+
+
+@given(st.lists(finite_nonneg, max_size=50),
+       st.lists(finite_nonneg, max_size=50))
+def test_counter_merge_adds(xs, ys):
+    a, b = Counter("c"), Counter("c")
+    for x in xs:
+        a.inc(x)
+    for y in ys:
+        b.inc(y)
+    total = a.value + b.value
+    a.merge(b)
+    assert a.value == total
+
+
+@st.composite
+def bounds_and_values(draw):
+    bounds = draw(
+        st.lists(
+            st.floats(min_value=1e-6, max_value=1e6,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1, max_size=8, unique=True,
+        )
+    )
+    values = draw(st.lists(finite_nonneg, max_size=40))
+    return tuple(sorted(bounds)), values
+
+
+@given(bounds_and_values(), st.lists(finite_nonneg, max_size=40))
+def test_histogram_merge_equals_combined_observation(bv, more):
+    """merge(A, B) must be indistinguishable from observing A's and B's
+    values into one histogram — counts, bucket counts and sum."""
+    bounds, values = bv
+    a = Histogram("h", bounds=bounds)
+    b = Histogram("h", bounds=bounds)
+    combined = Histogram("h", bounds=bounds)
+    for v in values:
+        a.observe(v)
+        combined.observe(v)
+    for v in more:
+        b.observe(v)
+        combined.observe(v)
+    a.merge(b)
+    assert a.counts == combined.counts
+    assert a.count == combined.count == len(values) + len(more)
+    # The sums associate differently ((A)+(B) vs interleaved), so exact
+    # equality is not a float property — closeness is.
+    assert math.isclose(a.sum, combined.sum, rel_tol=1e-12, abs_tol=1e-9)
+    assert sum(a.counts) == a.count  # every observation lands in a bucket
+
+
+@given(bounds_and_values())
+def test_histogram_total_count_invariant(bv):
+    bounds, values = bv
+    h = Histogram("h", bounds=bounds)
+    for v in values:
+        h.observe(v)
+    assert sum(h.counts) == h.count == len(values)
+
+
+record_batches = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=1e6,
+                  allow_nan=False, allow_infinity=False),
+        st.sampled_from(["a", "b", "c"]),
+    ),
+    max_size=30,
+)
+
+
+@settings(max_examples=50)
+@given(record_batches, record_batches, st.integers(min_value=1, max_value=20))
+def test_tracer_merge_preserves_total_seen(xs, ys, limit):
+    a = Tracer(limit=limit)
+    b = Tracer(limit=limit)
+    for t, cat in xs:
+        a.record(t, cat, "x")
+    for t, cat in ys:
+        b.record(t, cat, "y")
+    expect = a.total_seen + b.total_seen
+    a.merge(b)
+    assert a.total_seen == expect == len(xs) + len(ys)
+    assert len(a.records) <= limit
+    assert a.dropped == expect - len(a.records)
+    assert sum(a.dropped_by_category.values()) == a.dropped
+    # records stay time-sorted after a merge
+    times = [r.time for r in a.records]
+    assert times == sorted(times)
+
+
+@settings(max_examples=50)
+@given(record_batches, st.integers(min_value=1, max_value=10))
+def test_tracer_drops_monotone_and_accounted(xs, limit):
+    tr = Tracer(limit=limit)
+    last_dropped = 0
+    for t, cat in xs:
+        tr.record(t, cat, "x")
+        assert tr.dropped >= last_dropped  # drops never un-happen
+        last_dropped = tr.dropped
+        assert len(tr.records) + tr.dropped == tr.total_seen
+    assert len(tr.records) == min(len(xs), limit)
+
+
+@settings(max_examples=50)
+@given(record_batches, record_batches, st.integers(min_value=1, max_value=20))
+def test_span_tracer_merge_preserves_total_seen(xs, ys, limit):
+    a = SpanTracer(limit=limit)
+    b = SpanTracer(limit=limit)
+    for t, cat in xs:
+        a.add("s", cat, t, t + 1.0)
+    for t, cat in ys:
+        b.add("s", cat, t, t + 1.0)
+    expect = a.total_seen + b.total_seen
+    a.merge(b)
+    assert a.total_seen == expect == len(xs) + len(ys)
+    assert len(a.spans) <= limit
+    assert sum(a.dropped_by_category.values()) == a.dropped
+    starts = [s.start for s in a.spans]
+    assert starts == sorted(starts)
+
+
+@given(st.lists(st.sampled_from(["a", "b", "c"]), max_size=30),
+       st.integers(min_value=1, max_value=5))
+def test_registry_merge_is_observation_order_independent(cats, limit):
+    """Merging per-component registries gives the same dump as recording
+    everything into one registry."""
+    left, right = MetricsRegistry(), MetricsRegistry()
+    combined = MetricsRegistry()
+    for i, cat in enumerate(cats):
+        target = left if i % 2 == 0 else right
+        target.counter(f"n.{cat}").inc()
+        combined.counter(f"n.{cat}").inc()
+    left.merge(right)
+    assert left.to_dict() == combined.to_dict()

@@ -38,3 +38,44 @@ def test_eval2_command_runs(capsys):
     assert rc == 0
     assert "ppc64le" in out
     assert "rebuilt per ISA" in out or "Foreign-image rejections" in out
+
+
+def test_trace_command_writes_artifacts(tmp_path, capsys):
+    import json
+
+    out_dir = tmp_path / "trc"
+    rc = main(["trace", "--fig", "fig1", "--sim-steps", "1",
+               "--nodes", "2", "--out", str(out_dir)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "reconciles" in out
+    assert "trace digest" in out
+    trace = json.loads((out_dir / "trace.json").read_text())
+    assert trace["traceEvents"]
+    phases = {e["ph"] for e in trace["traceEvents"]}
+    assert {"M", "X", "i"} <= phases
+    metrics = json.loads((out_dir / "metrics.json").read_text())
+    assert "mpi.messages_sent" in metrics["metrics"]
+    assert metrics["trace"]["spans_dropped"] == 0
+    digest = (out_dir / "digest.txt").read_text().strip()
+    assert len(digest) == 64
+    csv = (out_dir / "metrics.csv").read_text()
+    assert csv.startswith("name,kind,field,value")
+
+
+def test_trace_command_bare_metal_runtime(tmp_path, capsys):
+    rc = main(["trace", "--runtime", "bare-metal", "--sim-steps", "1",
+               "--nodes", "2", "--out", str(tmp_path / "bm")])
+    assert rc == 0
+    assert "trace-fig1-bare-metal" in capsys.readouterr().out
+
+
+def test_trace_nodes_validation(capsys):
+    assert main(["trace", "--nodes", "0"]) == 2
+
+
+def test_all_excludes_trace():
+    from repro.cli import _ALL_EXCLUDES, _COMMANDS
+
+    assert "trace" in _COMMANDS
+    assert "trace" in _ALL_EXCLUDES
