@@ -7,11 +7,17 @@ Examples
     repro-study fig1                 # Lenox container-solutions figure
     repro-study fig2                 # CTE-POWER portability figure
     repro-study fig3 --sim-steps 1   # MareNostrum4 FSI speedups, faster
+    repro-study fig3 --workers 4     # fan the grid out over 4 processes
+    repro-study all --cache          # reuse .repro-cache/ across reruns
     repro-study eval1                # deployment / image-size table
     repro-study eval2                # three-architecture comparison
     repro-study all                  # everything, with shape checks
     repro-study trace --fig fig1     # Chrome trace + metrics + digest
     repro-study trace --fig fig3 --nodes 8 --out /tmp/t
+
+Grids are always reassembled in deterministic order: ``--workers N``
+changes wall-clock time, never the tables, verdicts or digests (see
+``docs/parallel.md``).
 """
 
 from __future__ import annotations
@@ -39,11 +45,23 @@ from repro.core.study import (
     PortabilityStudy,
     ScalabilityStudy,
 )
+from repro.exec import ExperimentExecutor
 from repro.hardware import catalog
 
 
+def _executor(args) -> ExperimentExecutor:
+    """The work-distribution layer the study subcommands share."""
+    return ExperimentExecutor(
+        workers=args.workers,
+        cache=args.cache,
+        cache_dir=args.cache_dir,
+    )
+
+
 def _fig1(args) -> bool:
-    outcome = ContainerSolutionsStudy(sim_steps=args.sim_steps).run()
+    outcome = ContainerSolutionsStudy(
+        sim_steps=args.sim_steps, executor=_executor(args)
+    ).run()
     print("Fig. 1 — artery CFD on Lenox, average elapsed time [s]\n")
     print(fig1_table(outcome))
     verdicts = check_fig1(outcome)
@@ -53,7 +71,8 @@ def _fig1(args) -> bool:
 
 def _eval1(args) -> bool:
     study = ContainerSolutionsStudy(
-        configs=((28, 4),), sim_steps=args.sim_steps
+        configs=((28, 4),), sim_steps=args.sim_steps,
+        executor=_executor(args),
     )
     rows = study.run().deployment_rows()
     print("§B.1 — deployment overhead, image size, execution time\n")
@@ -64,7 +83,9 @@ def _eval1(args) -> bool:
 
 
 def _fig2(args) -> bool:
-    fig2 = PortabilityStudy(sim_steps=args.sim_steps).run_fig2()
+    fig2 = PortabilityStudy(
+        sim_steps=args.sim_steps, executor=_executor(args)
+    ).run_fig2()
     print("Fig. 2 — artery CFD on CTE-POWER, elapsed time [s]\n")
     print(fig2_table(fig2))
     verdicts = check_fig2(fig2)
@@ -73,7 +94,9 @@ def _fig2(args) -> bool:
 
 
 def _eval2(args) -> bool:
-    results, errors = PortabilityStudy(sim_steps=args.sim_steps).run_three_archs()
+    results, errors = PortabilityStudy(
+        sim_steps=args.sim_steps, executor=_executor(args)
+    ).run_three_archs()
     print("§B.2 — one case, three architectures (Singularity)\n")
     rows = [
         [
@@ -97,7 +120,9 @@ def _eval2(args) -> bool:
 
 
 def _fig3(args) -> bool:
-    outcome = ScalabilityStudy(sim_steps=args.sim_steps).run()
+    outcome = ScalabilityStudy(
+        sim_steps=args.sim_steps, executor=_executor(args)
+    ).run()
     print("Fig. 3 — artery FSI on MareNostrum4, speedup vs 4 nodes\n")
     print(fig3_table(outcome))
     verdicts = check_fig3(outcome)
@@ -263,6 +288,27 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="time steps the simulator executes per run (default 2)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the experiment grid "
+             "(default: os.cpu_count(); 1 = serial)",
+    )
+    parser.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="reuse spec-keyed results from the cache directory "
+             "(--no-cache to disable; default off)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=".repro-cache",
+        metavar="DIR",
+        help="result-cache directory (default .repro-cache)",
+    )
     group = parser.add_argument_group("trace options")
     group.add_argument(
         "--fig",
@@ -305,6 +351,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         names = [args.artefact]
     if args.nodes < 1:
         print("error: --nodes must be >= 1", file=sys.stderr)
+        return 2
+    if args.workers is not None and args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
         return 2
     ok = True
     for i, name in enumerate(names):

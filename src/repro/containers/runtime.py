@@ -68,6 +68,26 @@ class DeploymentReport:
         """Seconds spent in ``name`` (0.0 when the step did not occur)."""
         return self.steps.get(name, 0.0)
 
+    def to_json_dict(self) -> dict:
+        """JSON-safe payload; inverse of :meth:`from_json_dict`."""
+        return {
+            "runtime_name": self.runtime_name,
+            "image_name": self.image_name,
+            "node_count": self.node_count,
+            "total_seconds": self.total_seconds,
+            "steps": dict(self.steps),
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "DeploymentReport":
+        return cls(
+            runtime_name=payload["runtime_name"],
+            image_name=payload["image_name"],
+            node_count=payload["node_count"],
+            total_seconds=payload["total_seconds"],
+            steps=dict(payload["steps"]),
+        )
+
 
 class ContainerRuntime(abc.ABC):
     """Common protocol of the four execution modes."""

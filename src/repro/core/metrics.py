@@ -65,6 +65,61 @@ class ExperimentResult:
             raise ValueError("baseline has no step time")
         return self.avg_step_seconds / baseline.avg_step_seconds - 1.0
 
+    def to_json_dict(self) -> dict:
+        """JSON-safe payload; inverse of :meth:`from_json_dict`.
+
+        The round trip is lossless: floats survive JSON exactly (repr
+        round-trips IEEE doubles), and every field — including the
+        ``compare=False`` phase dicts — is carried.  This is the
+        serialisation the :mod:`repro.exec.cache` result cache persists.
+        """
+        return {
+            "spec_name": self.spec_name,
+            "runtime_name": self.runtime_name,
+            "cluster_name": self.cluster_name,
+            "n_nodes": self.n_nodes,
+            "total_ranks": self.total_ranks,
+            "threads_per_rank": self.threads_per_rank,
+            "avg_step_seconds": self.avg_step_seconds,
+            "elapsed_seconds": self.elapsed_seconds,
+            "deployment": (
+                self.deployment.to_json_dict() if self.deployment else None
+            ),
+            "image_size_bytes": self.image_size_bytes,
+            "image_transfer_bytes": self.image_transfer_bytes,
+            "messages": self.messages,
+            "bytes_sent": self.bytes_sent,
+            "internode_messages": self.internode_messages,
+            "phase_fractions": dict(self.phase_fractions),
+            "phases": dict(self.phases),
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "ExperimentResult":
+        deployment = payload.get("deployment")
+        return cls(
+            spec_name=payload["spec_name"],
+            runtime_name=payload["runtime_name"],
+            cluster_name=payload["cluster_name"],
+            n_nodes=payload["n_nodes"],
+            total_ranks=payload["total_ranks"],
+            threads_per_rank=payload["threads_per_rank"],
+            avg_step_seconds=payload["avg_step_seconds"],
+            elapsed_seconds=payload["elapsed_seconds"],
+            deployment=(
+                DeploymentReport.from_json_dict(deployment)
+                if deployment is not None
+                else None
+            ),
+            image_size_bytes=payload["image_size_bytes"],
+            image_transfer_bytes=payload["image_transfer_bytes"],
+            messages=payload["messages"],
+            bytes_sent=payload["bytes_sent"],
+            internode_messages=payload["internode_messages"],
+            phase_fractions=dict(payload["phase_fractions"]),
+            phases=dict(payload["phases"]),
+        )
+
 
 def speedup_series(
     results: Sequence[ExperimentResult],

@@ -25,6 +25,23 @@ class ExperimentRunner:
 
     build image → push → submit batch job → deploy containers → launch the
     simulated Alya job → collect metrics.
+
+    **Statelessness invariant.**  The runner holds no instance state:
+    every piece of simulation machinery (the
+    :class:`~repro.des.engine.Environment`, cluster, runtime, scheduler,
+    communicator) is built inside :meth:`run` and dies with it, so one
+    shared instance and one instance per run are equivalent, and
+    concurrent runs in separate processes cannot interfere.  The
+    parallel executor (:mod:`repro.exec.executor`) relies on this;
+    keep new fields out of the class.
+
+    The one sharable mutable object is an ``obs`` passed by the caller:
+    :meth:`run` *rebinds* it to the new environment (``obs.bind(env)``),
+    so reusing one :class:`~repro.obs.span.Observability` across runs
+    accumulates spans/records/metrics from all of them.  That is valid
+    for deliberate aggregation but not reproducible point-by-point —
+    grid drivers must give each point a fresh ``obs`` and merge in grid
+    order, which is exactly what the executor does.
     """
 
     def run(self, spec: ExperimentSpec, obs=None) -> ExperimentResult:

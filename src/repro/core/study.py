@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.alya.workmodel import AlyaWorkModel
 from repro.containers.compat import IncompatibleArchitectureError
@@ -12,8 +12,19 @@ from repro.containers.builder import ImageBuilder
 from repro.core import calibration
 from repro.core.experiment import EndpointGranularity, ExperimentSpec
 from repro.core.metrics import ExperimentResult, speedup_series
-from repro.core.runner import ExperimentRunner
 from repro.hardware import catalog
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.exec.executor import ExperimentExecutor
+    from repro.obs.span import Observability
+
+
+def _default_executor() -> "ExperimentExecutor":
+    """A serial, uncached executor (imported lazily — :mod:`repro.exec`
+    imports this package's spec/result types)."""
+    from repro.exec.executor import ExperimentExecutor
+
+    return ExperimentExecutor(workers=1)
 
 #: Fig. 1's x-axis: MPI ranks x OpenMP threads on 4 x 28 Lenox cores.
 FIG1_CONFIGS: tuple[tuple[int, int], ...] = (
@@ -75,37 +86,54 @@ class ContainerSolutionsStudy:
         ("docker", BuildTechnique.SELF_CONTAINED),
     )
 
+    #: Lenox node count of every Fig. 1 layout (4 x 28 cores = 112).
+    N_NODES = 4
+
     def __init__(
         self,
         workmodel: Optional[AlyaWorkModel] = None,
         configs: tuple[tuple[int, int], ...] = FIG1_CONFIGS,
         sim_steps: int = 2,
+        executor: "Optional[ExperimentExecutor]" = None,
     ) -> None:
+        for ranks, threads in configs:
+            if ranks % self.N_NODES:
+                raise ValueError(
+                    f"config {ranks}x{threads}: {ranks} MPI ranks do not "
+                    f"divide evenly across {self.N_NODES} nodes — "
+                    f"{ranks % self.N_NODES} ranks would silently be "
+                    f"dropped; use a rank count divisible by "
+                    f"{self.N_NODES}"
+                )
         self.workmodel = workmodel or calibration.lenox_cfd_workmodel()
         self.configs = configs
         self.sim_steps = sim_steps
-        self.runner = ExperimentRunner()
+        self.executor = executor or _default_executor()
 
-    def run(self) -> SolutionsOutcome:
+    def run(self, obs: "Optional[Observability]" = None) -> SolutionsOutcome:
         cluster = catalog.LENOX
-        results = {}
-        for rt, tech in self.RUNTIMES:
-            for ranks, threads in self.configs:
-                spec = ExperimentSpec(
-                    name=f"fig1-{rt}-{ranks}x{threads}",
-                    cluster=cluster,
-                    runtime_name=rt,
-                    technique=tech,
-                    workmodel=self.workmodel,
-                    n_nodes=4,
-                    ranks_per_node=ranks // 4,
-                    threads_per_rank=threads,
-                    sim_steps=self.sim_steps,
-                    granularity=EndpointGranularity.RANK,
-                )
-                results[(rt, (ranks, threads))] = self.runner.run(spec)
+        grid = [
+            (rt, config) for rt, _ in self.RUNTIMES for config in self.configs
+        ]
+        specs = [
+            ExperimentSpec(
+                name=f"fig1-{rt}-{ranks}x{threads}",
+                cluster=cluster,
+                runtime_name=rt,
+                technique=tech,
+                workmodel=self.workmodel,
+                n_nodes=self.N_NODES,
+                ranks_per_node=ranks // self.N_NODES,
+                threads_per_rank=threads,
+                sim_steps=self.sim_steps,
+                granularity=EndpointGranularity.RANK,
+            )
+            for rt, tech in self.RUNTIMES
+            for ranks, threads in self.configs
+        ]
+        run_results = self.executor.run_many(specs, obs=obs)
         return SolutionsOutcome(
-            results=results,
+            results=dict(zip(grid, run_results)),
             runtimes=tuple(rt for rt, _ in self.RUNTIMES),
             configs=self.configs,
         )
@@ -142,32 +170,41 @@ class PortabilityStudy:
         workmodel: Optional[AlyaWorkModel] = None,
         nodes: tuple[int, ...] = FIG2_NODES,
         sim_steps: int = 2,
+        executor: "Optional[ExperimentExecutor]" = None,
     ) -> None:
         self.workmodel = workmodel or calibration.ctepower_cfd_workmodel()
         self.nodes = nodes
         self.sim_steps = sim_steps
-        self.runner = ExperimentRunner()
+        self.executor = executor or _default_executor()
 
-    def run_fig2(self) -> dict[str, dict[int, ExperimentResult]]:
+    def run_fig2(
+        self, obs: "Optional[Observability]" = None
+    ) -> dict[str, dict[int, ExperimentResult]]:
         cluster = catalog.CTE_POWER
+        grid = [
+            (label, rt, tech, n)
+            for label, rt, tech in self.FIG2_VARIANTS
+            for n in self.nodes
+        ]
+        specs = [
+            ExperimentSpec(
+                name=f"fig2-{label}-{n}n",
+                cluster=cluster,
+                runtime_name=rt,
+                technique=tech,
+                workmodel=self.workmodel,
+                n_nodes=n,
+                ranks_per_node=cluster.node.cores,
+                threads_per_rank=1,
+                sim_steps=self.sim_steps,
+                granularity=EndpointGranularity.NODE,
+            )
+            for label, rt, tech, n in grid
+        ]
+        run_results = self.executor.run_many(specs, obs=obs)
         out: dict[str, dict[int, ExperimentResult]] = {}
-        for label, rt, tech in self.FIG2_VARIANTS:
-            series = {}
-            for n in self.nodes:
-                spec = ExperimentSpec(
-                    name=f"fig2-{label}-{n}n",
-                    cluster=cluster,
-                    runtime_name=rt,
-                    technique=tech,
-                    workmodel=self.workmodel,
-                    n_nodes=n,
-                    ranks_per_node=cluster.node.cores,
-                    threads_per_rank=1,
-                    sim_steps=self.sim_steps,
-                    granularity=EndpointGranularity.NODE,
-                )
-                series[n] = self.runner.run(spec)
-            out[label] = series
+        for (label, _, _, n), result in zip(grid, run_results):
+            out.setdefault(label, {})[n] = result
         return out
 
     def run_three_archs(
@@ -190,26 +227,34 @@ class PortabilityStudy:
         x86_image = builder.build_sif(
             alya_recipe(BuildTechnique.SELF_CONTAINED)
         ).image
+        variants = (
+            ("system-specific", BuildTechnique.SYSTEM_SPECIFIC),
+            ("self-contained", BuildTechnique.SELF_CONTAINED),
+        )
+        grid = [
+            (name, cluster, label, tech)
+            for name, cluster in machines.items()
+            for label, tech in variants
+        ]
+        specs = [
+            ExperimentSpec(
+                name=f"arch-{name}-{label}",
+                cluster=cluster,
+                runtime_name="singularity",
+                technique=tech,
+                workmodel=wm,
+                n_nodes=2,
+                ranks_per_node=cluster.node.cores,
+                threads_per_rank=1,
+                sim_steps=self.sim_steps,
+                granularity=EndpointGranularity.NODE,
+            )
+            for name, cluster, label, tech in grid
+        ]
+        run_results = self.executor.run_many(specs)
+        for (name, _, label, _), result in zip(grid, run_results):
+            results.setdefault(name, {})[label] = result
         for name, cluster in machines.items():
-            per_variant = {}
-            for label, tech in (
-                ("system-specific", BuildTechnique.SYSTEM_SPECIFIC),
-                ("self-contained", BuildTechnique.SELF_CONTAINED),
-            ):
-                spec = ExperimentSpec(
-                    name=f"arch-{name}-{label}",
-                    cluster=cluster,
-                    runtime_name="singularity",
-                    technique=tech,
-                    workmodel=wm,
-                    n_nodes=2,
-                    ranks_per_node=cluster.node.cores,
-                    threads_per_rank=1,
-                    sim_steps=self.sim_steps,
-                    granularity=EndpointGranularity.NODE,
-                )
-                per_variant[label] = self.runner.run(spec)
-            results[name] = per_variant
             if cluster.node.arch is not x86_image.arch:
                 try:
                     from repro.containers.compat import check_architecture
@@ -267,30 +312,37 @@ class ScalabilityStudy:
         workmodel: Optional[AlyaWorkModel] = None,
         nodes: tuple[int, ...] = FIG3_NODES,
         sim_steps: int = 2,
+        executor: "Optional[ExperimentExecutor]" = None,
     ) -> None:
         self.workmodel = workmodel or calibration.mn4_fsi_workmodel()
         self.nodes = nodes
         self.sim_steps = sim_steps
-        self.runner = ExperimentRunner()
+        self.executor = executor or _default_executor()
 
-    def run(self) -> ScalabilityOutcome:
+    def run(self, obs: "Optional[Observability]" = None) -> ScalabilityOutcome:
         cluster = catalog.MARENOSTRUM4
+        grid = [
+            (label, rt, tech, n)
+            for label, rt, tech in self.VARIANTS
+            for n in self.nodes
+        ]
+        specs = [
+            ExperimentSpec(
+                name=f"fig3-{label}-{n}n",
+                cluster=cluster,
+                runtime_name=rt,
+                technique=tech,
+                workmodel=self.workmodel,
+                n_nodes=n,
+                ranks_per_node=cluster.node.cores,
+                threads_per_rank=1,
+                sim_steps=self.sim_steps,
+                granularity=EndpointGranularity.NODE,
+            )
+            for label, rt, tech, n in grid
+        ]
+        run_results = self.executor.run_many(specs, obs=obs)
         results: dict[str, dict[int, ExperimentResult]] = {}
-        for label, rt, tech in self.VARIANTS:
-            series = {}
-            for n in self.nodes:
-                spec = ExperimentSpec(
-                    name=f"fig3-{label}-{n}n",
-                    cluster=cluster,
-                    runtime_name=rt,
-                    technique=tech,
-                    workmodel=self.workmodel,
-                    n_nodes=n,
-                    ranks_per_node=cluster.node.cores,
-                    threads_per_rank=1,
-                    sim_steps=self.sim_steps,
-                    granularity=EndpointGranularity.NODE,
-                )
-                series[n] = self.runner.run(spec)
-            results[label] = series
+        for (label, _, _, n), result in zip(grid, run_results):
+            results.setdefault(label, {})[n] = result
         return ScalabilityOutcome(results=results, base_nodes=min(self.nodes))

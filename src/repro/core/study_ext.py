@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.alya.workmodel import AlyaWorkModel, CaseKind
 from repro.containers import (
@@ -29,11 +29,15 @@ from repro.containers import (
 from repro.containers.recipes import BuildTechnique, alya_recipe
 from repro.core.experiment import EndpointGranularity, ExperimentSpec
 from repro.core.metrics import ExperimentResult
-from repro.core.runner import ExperimentRunner
+from repro.core.study import _default_executor
 from repro.des.engine import Environment
 from repro.hardware import catalog
 from repro.hardware.cluster import Cluster, ClusterSpec
 from repro.oskernel.nodeos import NodeOS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.exec.executor import ExperimentExecutor
+    from repro.obs.span import Observability
 
 
 @dataclass
@@ -73,6 +77,7 @@ class WeakScalingStudy:
         nodes: tuple[int, ...] = (4, 16, 64),
         sim_steps: int = 2,
         cluster: Optional[ClusterSpec] = None,
+        executor: "Optional[ExperimentExecutor]" = None,
     ) -> None:
         if cells_per_node < 1:
             raise ValueError("cells_per_node must be >= 1")
@@ -80,33 +85,38 @@ class WeakScalingStudy:
         self.nodes = tuple(sorted(set(nodes)))
         self.sim_steps = sim_steps
         self.cluster = cluster or catalog.MARENOSTRUM4
-        self.runner = ExperimentRunner()
+        self.executor = executor or _default_executor()
 
-    def run(self) -> WeakScalingOutcome:
-        results: dict[str, dict[int, ExperimentResult]] = {}
-        for label, rt, tech in self.VARIANTS:
-            series = {}
-            for n in self.nodes:
-                work = AlyaWorkModel(
+    def run(self, obs: "Optional[Observability]" = None) -> WeakScalingOutcome:
+        grid = [
+            (label, rt, tech, n)
+            for label, rt, tech in self.VARIANTS
+            for n in self.nodes
+        ]
+        specs = [
+            ExperimentSpec(
+                name=f"weak-{label}-{n}",
+                cluster=self.cluster,
+                runtime_name=rt,
+                technique=tech,
+                workmodel=AlyaWorkModel(
                     case=CaseKind.CFD,
                     n_cells=self.cells_per_node * n,
                     cg_iters_per_step=25,
                     nominal_timesteps=1,
-                )
-                spec = ExperimentSpec(
-                    name=f"weak-{label}-{n}",
-                    cluster=self.cluster,
-                    runtime_name=rt,
-                    technique=tech,
-                    workmodel=work,
-                    n_nodes=n,
-                    ranks_per_node=self.cluster.node.cores,
-                    threads_per_rank=1,
-                    sim_steps=self.sim_steps,
-                    granularity=EndpointGranularity.NODE,
-                )
-                series[n] = self.runner.run(spec)
-            results[label] = series
+                ),
+                n_nodes=n,
+                ranks_per_node=self.cluster.node.cores,
+                threads_per_rank=1,
+                sim_steps=self.sim_steps,
+                granularity=EndpointGranularity.NODE,
+            )
+            for label, rt, tech, n in grid
+        ]
+        run_results = self.executor.run_many(specs, obs=obs)
+        results: dict[str, dict[int, ExperimentResult]] = {}
+        for (label, _, _, n), result in zip(grid, run_results):
+            results.setdefault(label, {})[n] = result
         return WeakScalingOutcome(
             results=results, cells_per_node=self.cells_per_node
         )

@@ -14,12 +14,17 @@ import io
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional, Sequence
 
+from typing import TYPE_CHECKING
+
 from repro.alya.workmodel import AlyaWorkModel
 from repro.containers.recipes import BuildTechnique
 from repro.core.experiment import EndpointGranularity, ExperimentSpec
 from repro.core.metrics import ExperimentResult
-from repro.core.runner import ExperimentRunner
 from repro.hardware.cluster import ClusterSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.exec.executor import ExperimentExecutor
+    from repro.obs.span import Observability
 
 
 @dataclass(frozen=True)
@@ -39,10 +44,23 @@ class SweepResult:
     rows: list[tuple[SweepPoint, ExperimentResult]] = field(default_factory=list)
 
     def by_label(self, label: str) -> dict[int, ExperimentResult]:
-        """node count → result for one variant."""
-        return {
-            p.n_nodes: r for p, r in self.rows if p.label == label
-        }
+        """node count → result for one variant.
+
+        Raises :class:`ValueError` when the sweep holds two rows for the
+        same ``(label, n_nodes)`` — collapsing them last-write-wins would
+        silently discard a result.
+        """
+        out: dict[int, ExperimentResult] = {}
+        for p, r in self.rows:
+            if p.label != label:
+                continue
+            if p.n_nodes in out:
+                raise ValueError(
+                    f"duplicate sweep rows for label {label!r} at "
+                    f"{p.n_nodes} nodes; disambiguate the variant labels"
+                )
+            out[p.n_nodes] = r
+        return out
 
     def labels(self) -> list[str]:
         seen: list[str] = []
@@ -111,6 +129,12 @@ class Sweep:
         Node counts.
     ranks_per_node / threads_per_rank / sim_steps / granularity:
         Forwarded to every spec.
+    executor:
+        The :class:`~repro.exec.executor.ExperimentExecutor` running the
+        grid; defaults to a serial, uncached one.  Pass
+        ``ExperimentExecutor(workers=N, cache=True)`` for parallel,
+        cached execution — results are reassembled in grid order either
+        way, so the output is identical.
     """
 
     def __init__(
@@ -123,6 +147,7 @@ class Sweep:
         threads_per_rank: int = 1,
         sim_steps: int = 2,
         granularity: EndpointGranularity = EndpointGranularity.AUTO,
+        executor: "Optional[ExperimentExecutor]" = None,
     ) -> None:
         if not variants:
             raise ValueError("a sweep needs at least one variant")
@@ -138,19 +163,19 @@ class Sweep:
         self.threads_per_rank = threads_per_rank
         self.sim_steps = sim_steps
         self.granularity = granularity
-        self.runner = ExperimentRunner()
+        if executor is None:
+            from repro.exec.executor import ExperimentExecutor
 
-    def run(
-        self,
-        progress: Optional[Callable[[SweepPoint], None]] = None,
-    ) -> SweepResult:
-        """Run the whole grid (deterministic order)."""
-        result = SweepResult()
+            executor = ExperimentExecutor(workers=1)
+        self.executor = executor
+
+    def grid(self) -> list[tuple[SweepPoint, ExperimentSpec]]:
+        """The (point, spec) pairs in canonical grid order
+        (variants-major, node counts ascending)."""
+        out: list[tuple[SweepPoint, ExperimentSpec]] = []
         for label, runtime_name, technique in self.variants:
             for n in self.nodes:
                 point = SweepPoint(label, runtime_name, technique, n)
-                if progress is not None:
-                    progress(point)
                 spec = ExperimentSpec(
                     name=f"sweep-{label}-{n}n",
                     cluster=self.cluster,
@@ -163,5 +188,26 @@ class Sweep:
                     sim_steps=self.sim_steps,
                     granularity=self.granularity,
                 )
-                result.rows.append((point, self.runner.run(spec)))
-        return result
+                out.append((point, spec))
+        return out
+
+    def run(
+        self,
+        progress: Optional[Callable[[SweepPoint], None]] = None,
+        obs: "Optional[Observability]" = None,
+    ) -> SweepResult:
+        """Run the whole grid; rows come back in deterministic grid order.
+
+        ``progress`` is called once per point, in grid order, when the
+        point is *scheduled* (with a parallel executor, points then run
+        concurrently).  ``obs`` receives per-point executor markers and
+        merged traces — see :mod:`repro.exec.executor`.
+        """
+        pairs = self.grid()
+        if progress is not None:
+            for point, _ in pairs:
+                progress(point)
+        results = self.executor.run_many([s for _, s in pairs], obs=obs)
+        return SweepResult(
+            rows=[(point, r) for (point, _), r in zip(pairs, results)]
+        )

@@ -1,0 +1,36 @@
+"""Work distribution for experiment grids: parallel fan-out + result cache.
+
+Every study in :mod:`repro.core.study` is a grid of *independent*
+:class:`~repro.core.experiment.ExperimentSpec`\\ s — each point builds its
+own :class:`~repro.des.engine.Environment` and shares nothing with its
+neighbours.  This package exploits that:
+
+- :mod:`repro.exec.executor` — :class:`ExperimentExecutor` fans specs out
+  across a :class:`concurrent.futures.ProcessPoolExecutor` and reassembles
+  the results in submission (grid) order, so CSV exports, figures and
+  observability digests are byte-identical to a serial run;
+- :mod:`repro.exec.speckey` — a canonical, content-addressed key for a
+  spec (cluster, runtime, technique, work model, geometry, steps,
+  granularity — everything that determines the simulation, *except* the
+  display name);
+- :mod:`repro.exec.cache` — :class:`ResultCache` persists JSON-serialised
+  :class:`~repro.core.metrics.ExperimentResult`\\ s under ``.repro-cache/``
+  keyed by :func:`spec_key`, so re-running a study recomputes only the
+  points whose spec actually changed.
+
+The determinism contract and the statelessness invariant the executor
+relies on are documented in ``docs/parallel.md``.
+"""
+
+from repro.exec.cache import CACHE_FORMAT, ResultCache
+from repro.exec.executor import ExecStats, ExperimentExecutor
+from repro.exec.speckey import canonical_spec_payload, spec_key
+
+__all__ = [
+    "CACHE_FORMAT",
+    "ExecStats",
+    "ExperimentExecutor",
+    "ResultCache",
+    "canonical_spec_payload",
+    "spec_key",
+]

@@ -1,0 +1,102 @@
+"""Content-addressed result cache.
+
+One file per grid point under a cache root (``.repro-cache/`` by
+default), named ``<spec_key>.json`` and holding a JSON-serialised
+:class:`~repro.core.metrics.ExperimentResult`.  Because the key hashes
+everything that determines the simulation (see
+:mod:`repro.exec.speckey`), invalidation is automatic: change any spec
+field and the old entry is simply never looked up again.  A ``format``
+field guards against schema drift — entries written by an incompatible
+version read as misses, never as wrong data.
+
+Corrupted or unreadable entries are treated as misses too (the point is
+recomputed and the entry rewritten); a cache must never be able to make
+a study fail.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.core.experiment import ExperimentSpec
+from repro.core.metrics import ExperimentResult
+from repro.exec.speckey import spec_key
+
+#: On-disk schema version; bump when the entry layout changes.
+CACHE_FORMAT = 1
+
+
+class ResultCache:
+    """Spec-keyed persistent store of experiment results.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the entries (created lazily on first write).
+    """
+
+    def __init__(self, root: Union[str, Path] = ".repro-cache") -> None:
+        self.root = Path(root)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, spec: ExperimentSpec) -> Optional[ExperimentResult]:
+        """The cached result for ``spec``, or None on a miss.
+
+        The stored ``spec_name`` is rewritten to ``spec.name`` — the key
+        ignores display names, so a hit may come from a differently
+        labelled but physically identical run.
+        """
+        path = self.path_for(spec_key(spec))
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("format") != CACHE_FORMAT:
+            return None
+        try:
+            result = ExperimentResult.from_json_dict(payload["result"])
+        except (KeyError, TypeError):
+            return None
+        if result.spec_name != spec.name:
+            result = dataclasses.replace(result, spec_name=spec.name)
+        return result
+
+    def put(self, spec: ExperimentSpec, result: ExperimentResult) -> Path:
+        """Persist ``result`` under ``spec``'s key (atomic replace)."""
+        key = spec_key(spec)
+        path = self.path_for(key)
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "format": CACHE_FORMAT,
+            "key": key,
+            "result": result.to_json_dict(),
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload, sort_keys=True, indent=1) + "\n")
+        tmp.replace(path)
+        return path
+
+    def __contains__(self, spec: ExperimentSpec) -> bool:
+        return self.get(spec) is not None
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                path.unlink()
+                removed += 1
+        return removed

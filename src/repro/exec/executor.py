@@ -1,0 +1,198 @@
+"""Parallel experiment execution with deterministic reassembly.
+
+:class:`ExperimentExecutor` takes a list of independent
+:class:`~repro.core.experiment.ExperimentSpec`\\ s (one grid, in the
+caller's canonical order), runs them — serially or across a
+:class:`concurrent.futures.ProcessPoolExecutor` — and returns the
+results *in the submission order*, so every downstream artefact (CSV,
+figure, observability digest) is byte-identical regardless of worker
+count.
+
+Determinism contract
+--------------------
+- Each grid point builds its own :class:`~repro.des.engine.Environment`
+  and its own :class:`~repro.core.runner.ExperimentRunner`; nothing is
+  shared between points (the runner's documented statelessness
+  invariant).
+- When observability is requested, every *executed* point gets a fresh
+  :class:`~repro.obs.span.Observability` whose spans/records/metrics are
+  merged into the caller's instance in submission order — the merge
+  order, not the completion order, defines the digest.  The serial path
+  does exactly the same per-point bookkeeping, so ``workers=1`` and
+  ``workers=N`` produce identical digests.
+- Executor markers (``exec.submit`` / ``exec.cache_hit``) are
+  zero-duration spans at t=0 carrying only deterministic attributes
+  (grid index, spec name, key) — never wall-clock times or worker ids.
+
+Caching
+-------
+With ``cache=True`` each point is looked up in a
+:class:`~repro.exec.cache.ResultCache` before execution; hits skip the
+simulation entirely (their results are replayed from JSON), misses are
+executed and written back.  A warm rerun of an unchanged grid therefore
+executes zero simulations while producing the same results.  Cached
+points contribute only their ``exec.cache_hit`` marker to a trace —
+full span trees exist only for executed points.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional, Sequence, Union
+
+from repro.core.experiment import ExperimentSpec
+from repro.core.metrics import ExperimentResult
+from repro.core.runner import ExperimentRunner
+from repro.exec.cache import ResultCache
+from repro.exec.speckey import spec_key
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.span import Observability
+
+
+def _execute_spec(
+    spec: ExperimentSpec, with_obs: bool
+) -> "tuple[ExperimentResult, Optional[Observability]]":
+    """Run one spec in isolation (worker-process entry point).
+
+    Builds a fresh runner (stateless by contract) and, when asked, a
+    fresh Observability.  The environment reference is dropped before
+    returning — a finished :class:`~repro.des.engine.Environment` holds
+    generator frames, which cannot cross a process boundary.
+    """
+    obs = None
+    if with_obs:
+        from repro.obs.span import Observability
+
+        obs = Observability()
+    result = ExperimentRunner().run(spec, obs=obs)
+    if obs is not None:
+        obs.env = None
+    return result, obs
+
+
+@dataclass
+class ExecStats:
+    """Cumulative accounting of one executor's activity."""
+
+    submitted: int = 0
+    executed: int = 0
+    hits: int = 0
+    misses: int = 0
+    #: grid points executed through the process pool (vs. inline).
+    parallel_executed: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "executed": self.executed,
+            "hits": self.hits,
+            "misses": self.misses,
+            "parallel_executed": self.parallel_executed,
+        }
+
+
+class ExperimentExecutor:
+    """Fan independent specs out to workers; reassemble deterministically.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes for executed points.  ``None`` (the default)
+        means ``os.cpu_count()``; ``1`` runs everything inline in the
+        calling process (no pool, no pickling).
+    cache:
+        Enable the spec-keyed result cache.
+    cache_dir:
+        Cache root (default ``.repro-cache/``); only used when ``cache``
+        is on.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        cache: bool = False,
+        cache_dir: Union[str, Path] = ".repro-cache",
+    ) -> None:
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.cache: Optional[ResultCache] = (
+            ResultCache(cache_dir) if cache else None
+        )
+        self.stats = ExecStats()
+
+    # -- public API ---------------------------------------------------------
+    def run(
+        self, spec: ExperimentSpec, obs: "Optional[Observability]" = None
+    ) -> ExperimentResult:
+        """Run a single spec through the same cache/obs machinery."""
+        return self.run_many([spec], obs=obs)[0]
+
+    def run_many(
+        self,
+        specs: Sequence[ExperimentSpec],
+        obs: "Optional[Observability]" = None,
+    ) -> list[ExperimentResult]:
+        """Run every spec; results come back in ``specs`` order.
+
+        ``obs``, when given, receives one ``exec.submit`` or
+        ``exec.cache_hit`` marker per point plus the merged per-point
+        traces, all in submission order.
+        """
+        specs = list(specs)
+        self.stats.submitted += len(specs)
+        keys = [spec_key(s) for s in specs]
+
+        # Cache lookups first: only misses are executed.
+        results: list[Optional[ExperimentResult]] = [None] * len(specs)
+        cached = [False] * len(specs)
+        if self.cache is not None:
+            for i, spec in enumerate(specs):
+                hit = self.cache.get(spec)
+                if hit is not None:
+                    results[i] = hit
+                    cached[i] = True
+        miss_indices = [i for i in range(len(specs)) if not cached[i]]
+        self.stats.hits += len(specs) - len(miss_indices)
+        if self.cache is not None:
+            self.stats.misses += len(miss_indices)
+
+        # Execute the misses — pooled when it pays, inline otherwise.
+        with_obs = obs is not None
+        point_obs: dict[int, "Optional[Observability]"] = {}
+        n_workers = min(self.workers, len(miss_indices))
+        if n_workers > 1:
+            with ProcessPoolExecutor(max_workers=n_workers) as pool:
+                futures = [
+                    (i, pool.submit(_execute_spec, specs[i], with_obs))
+                    for i in miss_indices
+                ]
+                for i, future in futures:
+                    results[i], point_obs[i] = future.result()
+            self.stats.parallel_executed += len(miss_indices)
+        else:
+            for i in miss_indices:
+                results[i], point_obs[i] = _execute_spec(specs[i], with_obs)
+        self.stats.executed += len(miss_indices)
+
+        # Write-back and deterministic obs reassembly, in grid order.
+        for i, spec in enumerate(specs):
+            if self.cache is not None and not cached[i]:
+                self.cache.put(spec, results[i])
+            if obs is not None:
+                marker = "exec.cache_hit" if cached[i] else "exec.submit"
+                obs.add_span(
+                    marker, "exec", 0.0, 0.0, track="exec",
+                    index=i, spec=spec.name, key=keys[i],
+                )
+                obs.metrics.counter(f"{marker}s").inc()
+                po = point_obs.get(i)
+                if po is not None:
+                    obs.merge(po)
+        return results  # type: ignore[return-value]

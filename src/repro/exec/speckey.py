@@ -1,0 +1,76 @@
+"""Canonical, content-addressed keys for experiment specs.
+
+Two specs that describe the same simulation — same cluster, runtime,
+build technique, work model, geometry, step count and granularity — must
+map to the same key, and any change to a field that can alter the
+simulated outcome must change it.  The spec's ``name`` is deliberately
+*excluded*: it is a display label, not an input to the simulation (the
+cache rewrites ``spec_name`` on a hit so reports still show the caller's
+label).
+
+The key is the SHA-256 of a canonical JSON payload: nested dataclasses
+are flattened to tagged dicts, enums to ``ClassName.MEMBER`` strings,
+and dict keys are sorted, so the serialisation is stable across runs and
+processes (it never depends on hash seeds or insertion order).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from typing import Any
+
+from repro.core.experiment import ExperimentSpec
+
+#: Bump to invalidate every existing cache entry (e.g. when the
+#: simulation model changes in a way the spec fields cannot express).
+KEY_VERSION = 1
+
+
+def _canon(obj: Any) -> Any:
+    """Reduce ``obj`` to JSON-safe primitives, deterministically."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, enum.Enum):
+        return f"{type(obj).__name__}.{obj.name}"
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        payload = {
+            f.name: _canon(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+        payload["__dataclass__"] = type(obj).__name__
+        return payload
+    if isinstance(obj, dict):
+        return {str(k): _canon(v) for k, v in sorted(obj.items())}
+    if isinstance(obj, (list, tuple)):
+        return [_canon(v) for v in obj]
+    if isinstance(obj, (set, frozenset)):
+        return sorted(str(v) for v in obj)
+    raise TypeError(
+        f"cannot canonicalise {type(obj).__name__} for a spec key"
+    )
+
+
+def canonical_spec_payload(spec: ExperimentSpec) -> dict:
+    """The JSON-safe dict whose hash is :func:`spec_key`.
+
+    Covers every :class:`ExperimentSpec` field except ``name``.
+    """
+    fields = {
+        f.name: _canon(getattr(spec, f.name))
+        for f in dataclasses.fields(spec)
+        if f.name != "name"
+    }
+    return {"key_version": KEY_VERSION, "spec": fields}
+
+
+def spec_key(spec: ExperimentSpec) -> str:
+    """SHA-256 hex digest of the canonical spec payload."""
+    blob = json.dumps(
+        canonical_spec_payload(spec),
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -49,6 +49,17 @@ def solutions_outcome():
     return study.run()
 
 
+def test_solutions_study_rejects_indivisible_rank_counts():
+    """Regression: ranks // 4 used to silently drop the remainder ranks
+    of a config whose rank count does not divide the node count."""
+    with pytest.raises(ValueError, match="divide evenly"):
+        ContainerSolutionsStudy(
+            workmodel=small_cfd(), configs=((30, 2),), sim_steps=1
+        )
+    # The paper's own configs all divide 4 nodes evenly.
+    ContainerSolutionsStudy(workmodel=small_cfd(), sim_steps=1)
+
+
 def test_solutions_study_shapes(solutions_outcome):
     verdicts = check_fig1(solutions_outcome)
     assert verdicts["singularity_tracks_bare_metal"]

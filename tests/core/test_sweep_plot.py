@@ -78,6 +78,28 @@ def test_sweep_validation():
               variants=[("b", "bare-metal", None)], nodes=[])
 
 
+def test_by_label_rejects_duplicate_rows():
+    """Regression: duplicate (label, n_nodes) rows used to collapse
+    silently, last write winning."""
+    from repro.core.metrics import ExperimentResult
+    from repro.core.sweep import SweepResult
+
+    def result(step):
+        return ExperimentResult(
+            spec_name="dup", runtime_name="bare-metal",
+            cluster_name="Lenox", n_nodes=2, total_ranks=8,
+            threads_per_rank=1, avg_step_seconds=step,
+            elapsed_seconds=step * 10,
+        )
+
+    point = SweepPoint("bare", "bare-metal", None, 2)
+    sr = SweepResult(rows=[(point, result(1.0)), (point, result(2.0))])
+    with pytest.raises(ValueError, match="duplicate sweep rows"):
+        sr.by_label("bare")
+    # Other labels are unaffected by the duplicate.
+    assert sr.by_label("other") == {}
+
+
 def test_ascii_plot_renders():
     series = {
         "ideal": {4: 1.0, 8: 2.0, 16: 4.0},

@@ -1,0 +1,85 @@
+"""Spec-key canonicalisation: stability and sensitivity."""
+
+import dataclasses
+import re
+
+import pytest
+
+from repro.alya.workmodel import AlyaWorkModel, CaseKind
+from repro.containers.recipes import BuildTechnique
+from repro.core.experiment import EndpointGranularity, ExperimentSpec
+from repro.exec.speckey import canonical_spec_payload, spec_key
+from repro.hardware import catalog
+from repro.hardware.topology import SwitchTopology
+
+
+def small_wm(cells=500_000):
+    return AlyaWorkModel(
+        case=CaseKind.CFD, n_cells=cells, cg_iters_per_step=5,
+        nominal_timesteps=20,
+    )
+
+
+def make_spec(**overrides):
+    base = dict(
+        name="key-test",
+        cluster=catalog.LENOX,
+        runtime_name="singularity",
+        technique=BuildTechnique.SELF_CONTAINED,
+        workmodel=small_wm(),
+        n_nodes=2,
+        ranks_per_node=7,
+        threads_per_rank=1,
+        sim_steps=1,
+        granularity=EndpointGranularity.RANK,
+    )
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+def test_key_is_sha256_hex_and_stable():
+    spec = make_spec()
+    key = spec_key(spec)
+    assert re.fullmatch(r"[0-9a-f]{64}", key)
+    assert spec_key(make_spec()) == key
+
+
+def test_name_is_excluded_from_key():
+    assert spec_key(make_spec(name="a")) == spec_key(make_spec(name="b"))
+
+
+@pytest.mark.parametrize(
+    "override",
+    [
+        {"runtime_name": "shifter"},
+        {"technique": BuildTechnique.SYSTEM_SPECIFIC},
+        {"n_nodes": 4},
+        {"ranks_per_node": 14},
+        {"threads_per_rank": 2},
+        {"sim_steps": 2},
+        {"granularity": EndpointGranularity.NODE},
+        {"workmodel": small_wm(cells=600_000)},
+        {"cluster": catalog.MARENOSTRUM4, "ranks_per_node": 48},
+        {"switch_topology": SwitchTopology(nodes_per_switch=2)},
+    ],
+)
+def test_every_simulation_field_changes_the_key(override):
+    assert spec_key(make_spec()) != spec_key(make_spec(**override))
+
+
+def test_payload_covers_all_fields_but_name():
+    spec = make_spec()
+    payload = canonical_spec_payload(spec)["spec"]
+    expected = {f.name for f in dataclasses.fields(ExperimentSpec)} - {"name"}
+    assert set(payload) == expected
+
+
+def test_payload_is_json_safe_and_order_independent():
+    import json
+
+    payload = canonical_spec_payload(make_spec())
+    blob = json.dumps(payload, sort_keys=True)
+    assert json.loads(blob) == payload
+    # Enum members are rendered class-qualified, not by repr/id.
+    assert payload["spec"]["granularity"] == "EndpointGranularity.RANK"
+    assert payload["spec"]["technique"] == "BuildTechnique.SELF_CONTAINED"
