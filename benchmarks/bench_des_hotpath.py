@@ -1,0 +1,275 @@
+#!/usr/bin/env python
+"""DES/MPI hot-path benchmark: legacy delivery vs the indexed fast path.
+
+Runs the two figure-shaped workloads the optimisation targets and times
+both delivery implementations *in the same process*:
+
+- ``legacy``: Store + closure-predicate matching, one generator process
+  per message (``set_default_delivery(True)``), seed-style allocating
+  link wake-ups (``set_legacy_wakes(True)``), the seed's per-event step
+  loop (``set_legacy_step_loop(True)``), collective fast path off — the
+  pre-optimisation hot path end to end.
+- ``fast``: indexed ``MessageQueue`` matching and the allocation-free
+  callback delivery chain; on the Fig. 3 shape the analytic collective
+  short-circuit is additionally enabled (recorded per arm in the output
+  as ``collective_fastpath`` — the Fig. 1 grid packs several ranks per
+  node and is structurally ineligible, so it measures the delivery chain
+  alone).
+
+Both arms must produce identical simulated results (elapsed seconds,
+message counts, phase profile) for every run — the benchmark asserts
+this, so a timing win can never hide a semantic regression.
+
+Wall-clock is best-of ``--repeats`` over un-instrumented runs; one extra
+instrumented pass per arm collects ``des.events_executed`` (identical
+across repeats — the simulation is deterministic), from which
+``events_per_second`` is derived against the un-instrumented wall-clock.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_des_hotpath.py            # full
+    PYTHONPATH=src python benchmarks/bench_des_hotpath.py --quick    # CI
+    PYTHONPATH=src python benchmarks/bench_des_hotpath.py --quick --check
+
+``--check`` compares the measured speedups against the committed
+baseline (``benchmarks/BENCH_hotpath_baseline.json``) and exits
+non-zero when any workload's speedup fell more than 25 % below it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.containers.recipes import BuildTechnique  # noqa: E402
+from repro.core import calibration  # noqa: E402
+from repro.core.experiment import (  # noqa: E402
+    EndpointGranularity,
+    ExperimentSpec,
+)
+from repro.core.runner import ExperimentRunner  # noqa: E402
+from repro.hardware import catalog  # noqa: E402
+from repro.des.engine import set_legacy_step_loop  # noqa: E402
+from repro.des.links import set_legacy_wakes  # noqa: E402
+from repro.mpi.comm import set_default_delivery  # noqa: E402
+from repro.obs import Observability  # noqa: E402
+
+#: A measured speedup below ``baseline / REGRESSION_FACTOR`` fails --check.
+REGRESSION_FACTOR = 1.25
+
+
+def fig3_specs(quick: bool, fastpath: bool) -> list[ExperimentSpec]:
+    """One Fig. 3-shaped ScalabilityStudy point (64 nodes; 16 in quick
+    mode), NODE granularity — one DES endpoint per node."""
+    cluster = catalog.MARENOSTRUM4
+    n = 16 if quick else 64
+    return [
+        ExperimentSpec(
+            name=f"bench-fig3-{n}n",
+            cluster=cluster,
+            runtime_name="singularity",
+            technique=BuildTechnique.SYSTEM_SPECIFIC,
+            workmodel=calibration.mn4_fsi_workmodel(),
+            n_nodes=n,
+            ranks_per_node=cluster.node.cores,
+            threads_per_rank=1,
+            sim_steps=2,
+            granularity=EndpointGranularity.NODE,
+            collective_fastpath=fastpath,
+        )
+    ]
+
+
+def fig1_specs(quick: bool, fastpath: bool) -> list[ExperimentSpec]:
+    """The ContainerSolutionsStudy grid (runtime x ranks-x-threads on 4
+    Lenox nodes, RANK granularity); a 2x2 corner of it in quick mode."""
+    cluster = catalog.LENOX
+    runtimes: tuple[tuple[str, BuildTechnique | None], ...] = (
+        ("bare-metal", None),
+        ("singularity", BuildTechnique.SELF_CONTAINED),
+        ("shifter", BuildTechnique.SELF_CONTAINED),
+        ("docker", BuildTechnique.SELF_CONTAINED),
+    )
+    configs = ((8, 14), (16, 7), (28, 4), (56, 2), (112, 1))
+    if quick:
+        runtimes = (runtimes[0], runtimes[3])  # bare-metal + docker (bridge)
+        configs = (configs[0], configs[4])
+    workmodel = calibration.lenox_cfd_workmodel()
+    return [
+        ExperimentSpec(
+            name=f"bench-fig1-{rt}-{ranks}x{threads}",
+            cluster=cluster,
+            runtime_name=rt,
+            technique=tech,
+            workmodel=workmodel,
+            n_nodes=4,
+            ranks_per_node=ranks // 4,
+            threads_per_rank=threads,
+            sim_steps=2,
+            granularity=EndpointGranularity.RANK,
+            collective_fastpath=fastpath,
+        )
+        for rt, tech in runtimes
+        for ranks, threads in configs
+    ]
+
+
+WORKLOADS = {
+    # name -> (spec factory, fast arm enables the collective short-circuit)
+    "fig3_64n": (fig3_specs, True),
+    "fig1_grid": (fig1_specs, False),
+}
+
+
+def _run_specs(specs: list[ExperimentSpec], obs=None):
+    runner = ExperimentRunner()
+    return [runner.run(s, obs=obs) for s in specs]
+
+
+def _result_fingerprint(results) -> list[tuple]:
+    """The simulated observables both arms must agree on exactly."""
+    return [
+        (
+            r.spec_name,
+            r.elapsed_seconds,
+            r.messages,
+            r.internode_messages,
+            r.phases,
+        )
+        for r in results
+    ]
+
+
+def bench_arm(
+    specs: list[ExperimentSpec], legacy: bool, repeats: int
+) -> dict:
+    set_default_delivery(legacy)
+    set_legacy_wakes(legacy)
+    set_legacy_step_loop(legacy)
+    try:
+        best = float("inf")
+        results = None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            results = _run_specs(specs)
+            best = min(best, time.perf_counter() - t0)
+        obs = Observability()
+        _run_specs(specs, obs=obs)
+        events = int(obs.metrics.counter("des.events_executed").value)
+        matched_fast = int(
+            obs.metrics.counter("mpi.messages_matched_fast").value
+        )
+    finally:
+        set_default_delivery(False)
+        set_legacy_wakes(False)
+        set_legacy_step_loop(False)
+    return {
+        "wall_seconds": best,
+        "events_executed": events,
+        "events_per_second": events / best if best > 0 else 0.0,
+        "messages": sum(r.messages for r in results),
+        "messages_matched_fast": matched_fast,
+        "collective_fastpath": any(s.collective_fastpath for s in specs),
+        "_fingerprint": _result_fingerprint(results),
+    }
+
+
+def bench_workload(name: str, quick: bool, repeats: int) -> dict:
+    factory, fastpath_in_fast_arm = WORKLOADS[name]
+    legacy = bench_arm(factory(quick, False), legacy=True, repeats=repeats)
+    fast = bench_arm(
+        factory(quick, fastpath_in_fast_arm), legacy=False, repeats=repeats
+    )
+    if legacy.pop("_fingerprint") != fast.pop("_fingerprint"):
+        raise SystemExit(
+            f"{name}: legacy and fast arms disagree on simulated results "
+            "— the benchmark refuses to report a speedup over a semantic "
+            "change"
+        )
+    return {
+        "legacy": legacy,
+        "fast": fast,
+        "speedup": legacy["wall_seconds"] / fast["wall_seconds"],
+        "identical_results": True,
+    }
+
+
+def check(report: dict, baseline_path: str) -> int:
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    section = baseline["quick" if report["quick"] else "full"]
+    failures = []
+    for name, ref_speedup in section.items():
+        measured = report["workloads"][name]["speedup"]
+        floor = ref_speedup / REGRESSION_FACTOR
+        status = "ok" if measured >= floor else "REGRESSION"
+        print(
+            f"check {name}: speedup {measured:.2f}x vs baseline "
+            f"{ref_speedup:.2f}x (floor {floor:.2f}x) {status}"
+        )
+        if measured < floor:
+            failures.append(name)
+    if failures:
+        print(f"FAILED: hot-path regression in {', '.join(failures)}")
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--quick", action="store_true",
+        help="small shapes for CI smoke (16-node Fig. 3, 2x2 Fig. 1 grid)",
+    )
+    ap.add_argument(
+        "--check", action="store_true",
+        help="fail if any speedup regressed >25%% vs the committed baseline",
+    )
+    ap.add_argument(
+        "--repeats", type=int, default=1,
+        help="wall-clock is best-of-N over un-instrumented runs",
+    )
+    ap.add_argument("--out", default="BENCH_hotpath.json")
+    ap.add_argument(
+        "--baseline",
+        default=os.path.join(
+            os.path.dirname(os.path.abspath(__file__)),
+            "BENCH_hotpath_baseline.json",
+        ),
+    )
+    args = ap.parse_args(argv)
+
+    report = {
+        "schema": 1,
+        "quick": bool(args.quick),
+        "repeats": args.repeats,
+        "workloads": {},
+    }
+    for name in WORKLOADS:
+        wl = bench_workload(name, args.quick, args.repeats)
+        report["workloads"][name] = wl
+        print(
+            f"{name}: legacy {wl['legacy']['wall_seconds']:.3f}s "
+            f"-> fast {wl['fast']['wall_seconds']:.3f}s "
+            f"({wl['speedup']:.2f}x, "
+            f"{wl['fast']['events_per_second']:.0f} events/s, "
+            f"results identical)"
+        )
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {args.out}")
+    if args.check:
+        return check(report, args.baseline)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -69,6 +69,11 @@ class ExperimentSpec:
     docker_host_network: bool = False
     #: Optional leaf-switch topology (None = flat, NIC-limited fabric).
     switch_topology: Optional[SwitchTopology] = None
+    #: Opt into the analytic collective short-circuit
+    #: (:mod:`repro.mpi.fastpath`).  Off by default: enabling it is a
+    #: statement that the workload's collectives are contention-free and
+    #: entered in lockstep — the fast path raises otherwise.
+    collective_fastpath: bool = False
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1 or self.ranks_per_node < 1 or self.threads_per_rank < 1:

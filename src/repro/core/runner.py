@@ -105,6 +105,7 @@ class ExperimentRunner:
         comm = SimComm(
             env, cluster, rankmap, perf,
             tracer=obs.records if obs is not None else None,
+            collective_fastpath=spec.collective_fastpath,
         )
 
         def main():
@@ -190,6 +191,10 @@ class ExperimentRunner:
             m.counter("mpi.internode_messages").inc(
                 job_result.internode_messages
             )
+            m.counter("mpi.messages_matched_fast").inc(
+                comm.messages_matched_fast
+            )
+            m.counter("des.events_executed").inc(env.events_executed)
             m.gauge("deploy.total_seconds").set(deploy_report.total_seconds)
             m.gauge("job.elapsed_seconds").set(job_result.elapsed_seconds)
             m.gauge("result.avg_step_seconds").set(avg_step)

@@ -19,6 +19,21 @@ class SimulationError(RuntimeError):
     """Raised for engine-level errors (e.g. unhandled failed events)."""
 
 
+#: Benchmark knob: when True, :meth:`Environment.run` drains the queue by
+#: calling :meth:`Environment.step` per event — the pre-optimisation loop
+#: shape (method call, property-based error check, no single-callback
+#: fast path) — instead of the inlined :meth:`Environment._drain`.
+#: Semantics are identical; only the interpreter overhead differs.
+#: ``benchmarks/bench_des_hotpath.py`` turns this on for its legacy arm.
+_LEGACY_STEP_LOOP = False
+
+
+def set_legacy_step_loop(legacy: bool) -> None:
+    """Toggle the seed-style step loop (see :data:`_LEGACY_STEP_LOOP`)."""
+    global _LEGACY_STEP_LOOP
+    _LEGACY_STEP_LOOP = bool(legacy)
+
+
 class Interrupt(Exception):
     """Thrown into a process by :meth:`Process.interrupt`.
 
@@ -156,6 +171,11 @@ class Environment:
         self._seq = 0
         self._active = True
         self._step_hook: Optional[Callable[[Event, float], None]] = None
+        #: Events executed by this environment since creation.  Counted
+        #: unconditionally (a plain integer increment per step) so the
+        #: hot-path benchmark and the ``des.events_executed`` metric can
+        #: read it without installing a step hook.
+        self.events_executed = 0
 
     # -- instrumentation -----------------------------------------------------
     def set_step_hook(
@@ -206,6 +226,18 @@ class Environment:
         heapq.heappush(self._queue, (self._now + delay, self._seq, event))
         self._seq += 1
 
+    def _schedule_at(self, event: Event, when: float) -> None:
+        """Schedule ``event`` at the absolute time ``when``.
+
+        Engine-internal: used where the caller has computed an exact
+        absolute timestamp and ``now + (when - now)`` would round
+        differently (the collective fast path's closed-form schedule).
+        """
+        if when < self._now:
+            raise ValueError(f"when={when} is in the past (now={self._now})")
+        heapq.heappush(self._queue, (when, self._seq, event))
+        self._seq += 1
+
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
         return self._queue[0][0] if self._queue else float("inf")
@@ -216,6 +248,33 @@ class Environment:
             raise SimulationError("step() on an empty event queue")
         when, _, event = heapq.heappop(self._queue)
         self._now = when
+        self.events_executed += 1
+        if self._step_hook is not None:
+            self._step_hook(event, when)
+        callbacks = event.callbacks
+        event.callbacks = None
+        assert callbacks is not None
+        if len(callbacks) == 1:
+            # Fast path: the overwhelmingly common single-callback event
+            # (timeouts, delivery-chain stages) skips the loop setup.
+            callbacks[0](event)
+        else:
+            for cb in callbacks:
+                cb(event)
+        if not event._ok and not event._defused:
+            value = event.value
+            if isinstance(value, BaseException):
+                raise value
+            raise SimulationError(f"unhandled failed event with value {value!r}")
+
+    def _step_legacy(self) -> None:
+        """The seed's per-event step body: plain callback loop and
+        property-based error check, no single-callback fast path.  Kept
+        (behind :func:`set_legacy_step_loop`) so the hot-path benchmark's
+        baseline arm reproduces the pre-optimisation loop faithfully."""
+        when, _, event = heapq.heappop(self._queue)
+        self._now = when
+        self.events_executed += 1
         if self._step_hook is not None:
             self._step_hook(event, when)
         callbacks = event.callbacks
@@ -247,6 +306,13 @@ class Environment:
             stop_time = float(until)
             if stop_time < self._now:
                 raise ValueError(f"until={stop_time} is in the past (now={self._now})")
+        if stop_event is None and stop_time == float("inf"):
+            if _LEGACY_STEP_LOOP:
+                while self._queue:
+                    self._step_legacy()
+                return None
+            self._drain()
+            return None
         while self._queue:
             if stop_event is not None and stop_event.processed:
                 if not stop_event.ok:
@@ -269,6 +335,41 @@ class Environment:
         if stop_time != float("inf"):
             self._now = stop_time
         return None
+
+    def _drain(self) -> None:
+        """Run until the event queue empties.
+
+        Semantically identical to ``while self._queue: self.step()`` — the
+        loop body is inlined with local bindings because this is the inner
+        loop of every simulation (hundreds of thousands of iterations for
+        the paper-scale runs).
+        """
+        queue = self._queue
+        pop = heapq.heappop
+        executed = 0
+        try:
+            while queue:
+                when, _, event = pop(queue)
+                self._now = when
+                executed += 1
+                if self._step_hook is not None:
+                    self._step_hook(event, when)
+                callbacks = event.callbacks
+                event.callbacks = None
+                if len(callbacks) == 1:
+                    callbacks[0](event)
+                else:
+                    for cb in callbacks:
+                        cb(event)
+                if not event._ok and not event._defused:
+                    value = event._value
+                    if isinstance(value, BaseException):
+                        raise value
+                    raise SimulationError(
+                        f"unhandled failed event with value {value!r}"
+                    )
+        finally:
+            self.events_executed += executed
 
     def run_all(self, events: Iterable[Event]) -> list[Any]:
         """Convenience: run until every event in ``events`` has fired."""

@@ -14,6 +14,7 @@ bottlenecks once many MPI ranks communicate at once (paper Fig. 1).
 
 from __future__ import annotations
 
+import heapq
 import itertools
 import math
 from typing import TYPE_CHECKING, Optional  # noqa: F401
@@ -25,15 +26,73 @@ if TYPE_CHECKING:  # pragma: no cover
 
 _EPS_BYTES = 1e-6
 
+#: Benchmark knob: when True, links schedule their wake-ups the way the
+#: seed did — a fresh ``Timeout`` plus a generation-capturing closure per
+#: reschedule — instead of reusing pooled :class:`_Wake` events.  The
+#: schedule (times and heap positions) is identical either way; only the
+#: allocation behaviour differs.  ``benchmarks/bench_des_hotpath.py``
+#: turns this on for its legacy arm so the baseline reproduces the
+#: seed's full hot path.
+_LEGACY_WAKES = False
+
+
+def set_legacy_wakes(legacy: bool) -> None:
+    """Toggle seed-style allocating wake-ups (see :data:`_LEGACY_WAKES`)."""
+    global _LEGACY_WAKES
+    _LEGACY_WAKES = bool(legacy)
+
 
 class _Flow:
-    __slots__ = ("flow_id", "remaining", "event", "nbytes")
+    __slots__ = ("flow_id", "remaining", "notify", "nbytes")
 
-    def __init__(self, flow_id: int, nbytes: float, event: Event) -> None:
+    def __init__(self, flow_id: int, nbytes: float, notify) -> None:
         self.flow_id = flow_id
         self.remaining = float(nbytes)
         self.nbytes = float(nbytes)
-        self.event = event
+        #: Zero-argument callable invoked on completion — ``Event.succeed``
+        #: for the event-returning API, or a caller callback for
+        #: :meth:`FairShareLink.transfer_cb`.
+        self.notify = notify
+
+
+class _Gate(Event):
+    """A pooled latency gate for :meth:`FairShareLink.transfer_cb`.
+
+    Plays the role of the ``Timeout`` that delays admission by the link
+    latency, without allocating a ``Timeout`` plus closure per segment.
+    Scheduled at the same ``(time, seq)`` the timeout would occupy, so
+    heap order — and therefore simulated behaviour — is unchanged.
+    """
+
+    __slots__ = ("wire_bytes", "notify", "_cbs")
+
+    def __init__(self, link: "FairShareLink") -> None:
+        super().__init__(link.env)
+        self._value = None  # never PENDING: armed manually on reuse
+        self.wire_bytes = 0.0
+        self.notify = None
+        self._cbs = [link._on_gate]
+
+
+class _Wake(Event):
+    """A pooled link wake-up timer.
+
+    Wake events outnumber every other event in a transfer-heavy
+    simulation (one per admit/completion reschedule); pooling them
+    removes a ``Timeout`` plus closure allocation per reschedule.  Each
+    wake carries the generation it was armed with; a stale generation at
+    pop time means a newer reschedule superseded it, exactly like the
+    closure-captured generation it replaces — same schedule times, same
+    heap positions, so simulated behaviour is bit-identical.
+    """
+
+    __slots__ = ("gen", "_cbs")
+
+    def __init__(self, link: "FairShareLink") -> None:
+        super().__init__(link.env)
+        self._value = None  # never PENDING: armed manually on reuse
+        self.gen = 0
+        self._cbs = [link._on_wake_ev]
 
 
 class FairShareLink:
@@ -78,6 +137,11 @@ class FairShareLink:
         self._ids = itertools.count()
         self._last_update = env.now
         self._wake_gen = 0
+        self._wake_pool: list[_Wake] = []
+        self._gate_pool: list[_Gate] = []
+        #: Smallest ``remaining`` across active flows, maintained
+        #: incrementally (exact: see :meth:`_advance`); ``inf`` when idle.
+        self._min_remaining = math.inf
         self.bytes_carried = 0.0
         self.peak_concurrency = 0
 
@@ -95,10 +159,40 @@ class FairShareLink:
         wire_bytes = nbytes * self.per_byte_overhead
         if self.latency > 0:
             gate = self.env.timeout(self.latency)
-            gate.callbacks.append(lambda _ev: self._admit(wire_bytes, done))
+            gate.callbacks.append(
+                lambda _ev: self._admit(wire_bytes, done.succeed)
+            )
         else:
-            self._admit(wire_bytes, done)
+            self._admit(wire_bytes, done.succeed)
         return done
+
+    def transfer_cb(self, nbytes: float, notify) -> None:
+        """Start a transfer of ``nbytes``; ``notify()`` is called directly
+        on completion (during the completing wake-up, or immediately for
+        zero-byte transfers) instead of scheduling a completion event.
+
+        This is the delivery chain's allocation-free variant of
+        :meth:`transfer`: same admission time, same completion time, one
+        event pop and one :class:`Event` less per segment.  Callers own
+        the ordering consequences — ``notify`` runs within the wake's
+        callback, so it must not re-enter this link synchronously.
+        """
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        wire_bytes = nbytes * self.per_byte_overhead
+        if self.latency > 0:
+            pool = self._gate_pool
+            gate = pool.pop() if pool else _Gate(self)
+            gate.wire_bytes = wire_bytes
+            gate.notify = notify
+            gate.callbacks = gate._cbs
+            env = self.env  # inlined env._schedule(gate, latency)
+            heapq.heappush(
+                env._queue, (env._now + self.latency, env._seq, gate)
+            )
+            env._seq += 1
+        else:
+            self._admit(wire_bytes, notify)
 
     def instantaneous_rate(self) -> float:
         """Per-flow rate right now (bytes/s); full bandwidth when idle."""
@@ -106,13 +200,25 @@ class FairShareLink:
         return self.bandwidth / n
 
     # -- internals ------------------------------------------------------------
-    def _admit(self, wire_bytes: float, done: Event) -> None:
-        self._advance()
+    def _admit(self, wire_bytes: float, notify) -> None:
+        # _advance() inlined: admits outnumber every other link operation.
+        now = self.env.now
+        elapsed = now - self._last_update
+        self._last_update = now
+        flows = self._flows
+        if elapsed > 0 and flows:
+            rate = self.bandwidth / len(flows)
+            drained = rate * elapsed
+            for f in flows.values():
+                f.remaining -= drained
+            self._min_remaining -= drained
         if wire_bytes <= _EPS_BYTES:
-            done.succeed()
+            notify()
             return
-        flow = _Flow(next(self._ids), wire_bytes, done)
+        flow = _Flow(next(self._ids), wire_bytes, notify)
         self._flows[flow.flow_id] = flow
+        if wire_bytes < self._min_remaining:
+            self._min_remaining = wire_bytes
         self.bytes_carried += wire_bytes
         self.peak_concurrency = max(self.peak_concurrency, len(self._flows))
         self._reschedule()
@@ -128,22 +234,52 @@ class FairShareLink:
         drained = rate * elapsed
         for flow in self._flows.values():
             flow.remaining -= drained
+        # IEEE rounding is monotone (a <= b implies fl(a-d) <= fl(b-d)),
+        # so the minimum of the updated residuals is exactly the updated
+        # minimum — the cache tracks the same subtraction bit for bit.
+        self._min_remaining -= drained
 
     def _reschedule(self) -> None:
         """Schedule a wake-up at the next flow completion."""
         self._wake_gen += 1
         if not self._flows:
             return
-        gen = self._wake_gen
         rate = self.bandwidth / len(self._flows)
-        min_remaining = min(f.remaining for f in self._flows.values())
-        dt = max(0.0, min_remaining / rate)
-        wake = self.env.timeout(dt)
-        wake.callbacks.append(lambda _ev: self._on_wake(gen))
+        if _LEGACY_WAKES:
+            # Seed-faithful baseline: rescan for the minimum (the cache
+            # holds the same value bit for bit) and allocate the wake.
+            gen = self._wake_gen
+            min_remaining = min(f.remaining for f in self._flows.values())
+            dt = max(0.0, min_remaining / rate)
+            wake = self.env.timeout(dt)
+            wake.callbacks.append(lambda _ev: self._on_wake_gen(gen))
+            return
+        dt = max(0.0, self._min_remaining / rate)
+        pool = self._wake_pool
+        wake = pool.pop() if pool else _Wake(self)
+        wake.gen = self._wake_gen
+        wake.callbacks = wake._cbs
+        env = self.env  # inlined env._schedule(wake, dt)
+        heapq.heappush(env._queue, (env._now + dt, env._seq, wake))
+        env._seq += 1
 
-    def _on_wake(self, gen: int) -> None:
-        if gen != self._wake_gen:
-            return  # superseded by a newer reschedule
+    def _on_gate(self, gate: _Gate) -> None:
+        notify = gate.notify
+        wire_bytes = gate.wire_bytes
+        gate.notify = None  # drop the ref before pooling
+        self._gate_pool.append(gate)
+        self._admit(wire_bytes, notify)
+
+    def _on_wake_ev(self, wake: _Wake) -> None:
+        self._wake_pool.append(wake)
+        if wake.gen == self._wake_gen:
+            self._wake_fire()
+
+    def _on_wake_gen(self, gen: int) -> None:
+        if gen == self._wake_gen:
+            self._wake_fire()
+
+    def _wake_fire(self) -> None:
         self._advance()
         # Completion threshold: besides the byte epsilon, any flow whose
         # residual *time* is below the clock's floating-point resolution
@@ -155,8 +291,15 @@ class FairShareLink:
         finished = [f for f in self._flows.values() if f.remaining <= threshold]
         for flow in finished:
             del self._flows[flow.flow_id]
+        if finished:
+            flows = self._flows
+            self._min_remaining = (
+                min(f.remaining for f in flows.values())
+                if flows
+                else math.inf
+            )
         for flow in finished:
-            flow.event.succeed()
+            flow.notify()
         self._reschedule()
 
 

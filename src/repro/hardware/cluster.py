@@ -189,6 +189,57 @@ class Cluster:
         return self._nic_params
 
     # -- transfers --------------------------------------------------------------
+    def transfer_segments(self, src: int, dst: int, nbytes: float) -> tuple[Event, ...]:
+        """The per-segment completion events of :meth:`transfer`.
+
+        Exposed separately (without the joining :class:`AllOf`) so the MPI
+        delivery chain can count the segments down with a plain callback
+        instead of allocating a condition event per message.  Segment
+        order: tx, rx, then the two switch uplinks when the flow crosses
+        leaves.
+        """
+        if src == dst:
+            return (self.nodes[src].shm.transfer(nbytes),)
+        tx = self.nodes[src].nic_tx
+        rx = self.nodes[dst].nic_rx
+        if tx is None or rx is None:
+            raise RuntimeError("wire_network() must be called before transfer()")
+        topo = self._topology
+        if topo is not None and not topo.same_switch(src, dst):
+            return (
+                tx.transfer(nbytes),
+                rx.transfer(nbytes),
+                self._uplinks_up[topo.switch_of(src)].transfer(nbytes),
+                self._uplinks_down[topo.switch_of(dst)].transfer(nbytes),
+            )
+        return (tx.transfer(nbytes), rx.transfer(nbytes))
+
+    def transfer_cb(self, src: int, dst: int, nbytes: float, notify) -> int:
+        """Event-free :meth:`transfer_segments`: each segment calls
+        ``notify()`` directly on completion (see
+        :meth:`FairShareLink.transfer_cb`); returns the segment count.
+
+        Segments with zero wire bytes complete *during this call*, so
+        callers must prime their countdown before invoking it.
+        """
+        if src == dst:
+            self.nodes[src].shm.transfer_cb(nbytes, notify)
+            return 1
+        tx = self.nodes[src].nic_tx
+        rx = self.nodes[dst].nic_rx
+        if tx is None or rx is None:
+            raise RuntimeError("wire_network() must be called before transfer()")
+        topo = self._topology
+        if topo is not None and not topo.same_switch(src, dst):
+            tx.transfer_cb(nbytes, notify)
+            rx.transfer_cb(nbytes, notify)
+            self._uplinks_up[topo.switch_of(src)].transfer_cb(nbytes, notify)
+            self._uplinks_down[topo.switch_of(dst)].transfer_cb(nbytes, notify)
+            return 4
+        tx.transfer_cb(nbytes, notify)
+        rx.transfer_cb(nbytes, notify)
+        return 2
+
     def transfer(self, src: int, dst: int, nbytes: float) -> Event:
         """Move ``nbytes`` between nodes (bandwidth part only).
 
@@ -197,21 +248,9 @@ class Cluster:
         drained; intra-node flows share the node's memory-copy link.
         Latency is *not* included — the MPI layer pays it per message.
         """
-        if src == dst:
-            return self.nodes[src].shm.transfer(nbytes)
-        tx = self.nodes[src].nic_tx
-        rx = self.nodes[dst].nic_rx
-        if tx is None or rx is None:
-            raise RuntimeError("wire_network() must be called before transfer()")
-        segments = [tx.transfer(nbytes), rx.transfer(nbytes)]
-        topo = self._topology
-        if topo is not None and not topo.same_switch(src, dst):
-            segments.append(
-                self._uplinks_up[topo.switch_of(src)].transfer(nbytes)
-            )
-            segments.append(
-                self._uplinks_down[topo.switch_of(dst)].transfer(nbytes)
-            )
+        segments = self.transfer_segments(src, dst, nbytes)
+        if len(segments) == 1:
+            return segments[0]
         return self.env.all_of(segments)
 
     def node(self, node_id: int) -> NodeSim:

@@ -104,6 +104,14 @@ def allreduce(comm: "SimComm", rank: int, op: int, nbytes: float):
     pof2 = _largest_pof2(p)
     rem = p - pof2
 
+    fp = getattr(comm, "fastpath", None)
+    if rem == 0 and fp is not None and fp.usable():
+        # Power-of-two recursive doubling entered in lockstep: closed-form
+        # schedule (see repro.mpi.fastpath), bit-identical completion
+        # times; raises if the ranks did not enter together.
+        yield fp.lockstep_rounds(rank, op, pof2.bit_length() - 1, nbytes)
+        return
+
     # Fold the excess ranks into the power-of-two set.
     if rank < 2 * rem:
         if rank % 2 == 0:
@@ -138,6 +146,12 @@ def allreduce_ring(comm: "SimComm", rank: int, op: int, nbytes: float):
     if p == 1:
         return
     chunk = nbytes / p
+    fp = getattr(comm, "fastpath", None)
+    if fp is not None and fp.usable():
+        # Structurally contention-free ring: closed-form schedule
+        # (see repro.mpi.fastpath), bit-identical completion times.
+        yield fp.ring_rounds(rank, op, 2 * (p - 1), chunk)
+        return
     right = (rank + 1) % p
     left = (rank - 1) % p
     for r in range(2 * (p - 1)):
@@ -219,6 +233,12 @@ def allgather(comm: "SimComm", rank: int, op: int, nbytes_per_rank: float):
     _trace(comm, rank, op, "allgather", nbytes_per_rank)
     p = comm.size
     if p == 1:
+        return
+    fp = getattr(comm, "fastpath", None)
+    if fp is not None and fp.usable():
+        # Structurally contention-free ring: closed-form schedule
+        # (see repro.mpi.fastpath), bit-identical completion times.
+        yield fp.ring_rounds(rank, op, p - 1, nbytes_per_rank)
         return
     right = (rank + 1) % p
     left = (rank - 1) % p

@@ -1,13 +1,36 @@
 """The simulated communicator.
 
-Each endpoint has a message queue (:class:`~repro.des.channels.Store`);
-``isend`` spawns a delivery process that pays the per-message latency,
-streams the bytes through the cluster's fair-share links, and then
-deposits the message; ``recv`` blocks on a (source, tag)-filtered get.
+Each endpoint has an indexed :class:`~repro.mpi.matching.MessageQueue`;
+``isend`` drives a flat callback *delivery chain* that pays the
+per-message latency, streams the bytes through the cluster's fair-share
+links, and then deposits the message; ``recv`` blocks on a
+``(source, tag)``-indexed get.
 
 Semantics match a rendezvous-free eager MPI: a send completes when the
 payload has been delivered, receives match by (src, tag) with FIFO order
 per pair, and ``ANY_SOURCE``/``ANY_TAG`` wildcards are supported.
+
+Hot path design.  The original implementation spawned one generator
+:class:`~repro.des.engine.Process` per message and matched receives with
+a predicate scan over a shared :class:`~repro.des.channels.Store`.  At
+paper scale (ring collectives are O(p²) messages) the generator frames,
+per-stage :class:`Timeout`/``put`` events and linear scans dominated the
+run time.  The chain here keeps the *schedule* of simulated events
+byte-identical — same stages, same per-stage delays, same relative order
+of same-timestamp events — while removing the allocations:
+
+- one pooled :class:`_Delivery` per in-flight message (recycled on
+  completion), holding one reusable :class:`_ChainTimer` that serves the
+  latency stage and both Docker bridge CPU stages;
+- link segments (NIC tx/rx, uplinks) joined by a countdown callback
+  instead of an :class:`~repro.des.events.AllOf`;
+- ``sendrecv`` joins its two halves with the allocation-light
+  :class:`_Join2` instead of a results-dict condition event.
+
+The legacy Store + generator path is kept selectable
+(``legacy_delivery=True`` or :func:`set_default_delivery`) so the
+benchmark suite and the matching property tests can compare the two
+implementations inside one build.
 """
 
 from __future__ import annotations
@@ -15,8 +38,11 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.des.channels import Store
-from repro.des.events import Event
-from repro.mpi.datatypes import Message
+from repro.des.events import PENDING, Event
+from repro.hardware.network import BRIDGE_CPU_PER_MESSAGE
+from repro.mpi.datatypes import ANY_SOURCE, ANY_TAG, Message
+from repro.mpi.fastpath import CollectiveFastPath
+from repro.mpi.matching import MessageQueue
 from repro.mpi.perf import MpiPerf
 from repro.mpi.topology import RankMap
 
@@ -24,8 +50,320 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.des.engine import Environment
     from repro.hardware.cluster import Cluster
 
-ANY_SOURCE = -1
-ANY_TAG = -1
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "GroupComm",
+    "SimComm",
+    "default_delivery_is_legacy",
+    "set_default_delivery",
+]
+
+#: Process-wide default for new communicators: ``False`` selects the
+#: indexed/callback hot path, ``True`` the original Store + generator
+#: implementation.  Flipped by the hot-path benchmark to measure both
+#: inside one process; per-communicator ``legacy_delivery`` overrides it.
+_DEFAULT_LEGACY_DELIVERY = False
+
+
+def set_default_delivery(legacy: bool) -> None:
+    """Set the process-wide default delivery implementation."""
+    global _DEFAULT_LEGACY_DELIVERY
+    _DEFAULT_LEGACY_DELIVERY = bool(legacy)
+
+
+def default_delivery_is_legacy() -> bool:
+    """Whether new communicators default to the legacy delivery path."""
+    return _DEFAULT_LEGACY_DELIVERY
+
+
+class _ChainTimer(Event):
+    """A reusable timeout for one delivery chain.
+
+    The chain's stages are strictly sequential, so a single event object
+    can serve every fixed-delay stage of a message: the chain re-arms it
+    by assigning the next stage's (persistent, single-element) callback
+    list and pushing it back on the queue.  Its value is permanently
+    ``None``/ok — the stage callbacks ignore it.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment") -> None:
+        super().__init__(env)
+        self._value = None  # never PENDING: armed/re-armed manually
+
+
+class _Join2(Event):
+    """Fires when both child events have fired — a two-event ``AllOf``
+    without the results dict, for the ``sendrecv`` hot path.
+
+    Children must be freshly created (not yet processed) events of the
+    same environment.  Failure semantics mirror :class:`AllOf`: the first
+    failing child fails the join with its exception (defusing the child);
+    later children are defused silently.
+    """
+
+    __slots__ = ("_remaining",)
+
+    def __init__(self, env: "Environment", a: Event, b: Event) -> None:
+        super().__init__(env)
+        self._remaining = 2
+        a.callbacks.append(self._child_fired)
+        b.callbacks.append(self._child_fired)
+
+    def _child_fired(self, ev: Event) -> None:
+        if self._value is not PENDING:
+            if not ev._ok:
+                ev.defuse()
+            return
+        if not ev._ok:
+            ev.defuse()
+            self.fail(ev._value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self._value = None
+            self.env._schedule(self)
+
+
+class _Delivery:
+    """One in-flight message's delivery chain (pooled, allocation-free).
+
+    Stage-for-stage equivalent to the legacy ``deliver()`` generator —
+    same delays, same event order at equal timestamps:
+
+    1. per-message latency (:meth:`MpiPerf.message_latency`);
+    2. [bridge path only] source node's serialized softirq pipeline:
+       FIFO slot, ``BRIDGE_CPU_PER_MESSAGE``, release;
+    3. link segments — shm for same-node, else NIC tx+rx (and switch
+       uplinks) carrying ``nbytes * per_byte_overhead`` — joined by
+       countdown;
+    4. [bridge path only] destination node's pipeline, as (2);
+    5. ``mpi.deliver`` trace record, deposit into the destination's
+       :class:`MessageQueue` (scheduling any waiting receive *before*
+       the send-done event, as the Store-based path did), recycle.
+
+    None of the chain's events can fail (links and bridge requests only
+    succeed), so there is no failure plumbing.
+
+    **Mirror mode.**  On clusters wired with Docker's bridge the chain
+    additionally *mirrors the legacy generator's event-sequence pattern*:
+    zero-delay relay events stand in for the process-init event, the
+    transfer ``AllOf`` and the Store ``put``/process-completion pair (all
+    served by the same reusable timer).  The bridge is a FIFO resource,
+    so the relative heap order of same-timestamp events across chains
+    determines which message enters the softirq pipeline first — the
+    relays keep that order identical to the legacy path, which keeps the
+    Fig. 1 Docker rows byte-identical.  Bridge-free clusters skip the
+    relays: there every order-sensitive structure (fair-share links,
+    per-pair FIFO matching) is provably invariant to same-timestamp
+    ordering, and the chain saves three event pops per message.
+    """
+
+    __slots__ = (
+        "comm",
+        "env",
+        "msg",
+        "done",
+        "same_node",
+        "_mirror",
+        "_src_node",
+        "_dst_node",
+        "_pending",
+        "_req",
+        "_timer",
+        "_cbs_init",
+        "_cbs_latency",
+        "_cbs_src_cpu",
+        "_cbs_dst_cpu",
+        "_cbs_join",
+        "_cbs_deposit",
+        "_cb_granted_src",
+        "_cb_granted_dst",
+        "_cb_seg",
+    )
+
+    def __init__(self, comm: "SimComm") -> None:
+        self.comm = comm
+        self.env = comm.env
+        self.msg: Optional[Message] = None
+        self.done: Optional[Event] = None
+        self.same_node = False
+        self._mirror = False
+        self._src_node = 0
+        self._dst_node = 0
+        self._pending = 0
+        self._req = None
+        self._timer = _ChainTimer(comm.env)
+        # Bound methods and single-element callback lists are created once
+        # per pooled chain, not once per message.
+        self._cbs_init = [self._after_init]
+        self._cbs_latency = [self._after_latency]
+        self._cbs_src_cpu = [self._src_cpu_done]
+        self._cbs_dst_cpu = [self._dst_cpu_done]
+        self._cbs_join = [self._after_join]
+        self._cbs_deposit = [self._deposit_done]
+        self._cb_granted_src = self._src_granted
+        self._cb_granted_dst = self._dst_granted
+        self._cb_seg = self._segment_done
+
+    def start(self, msg: Message, same_node: bool) -> Event:
+        comm = self.comm
+        self.msg = msg
+        self.same_node = same_node
+        nodes = comm._node_id
+        self._src_node = nodes[msg.src]
+        self._dst_node = self._src_node if same_node else nodes[msg.dst]
+        done = self.done = Event(self.env)
+        timer = self._timer
+        self._mirror = comm.cluster.nodes[0].bridge is not None
+        if self._mirror:
+            # Relay standing in for the legacy process-init event.
+            timer.callbacks = self._cbs_init
+            self.env._schedule(timer)
+        else:
+            timer.callbacks = self._cbs_latency
+            self.env._schedule(
+                timer, comm.perf.message_latency(same_node, msg.nbytes)
+            )
+        return done
+
+    def _after_init(self, _ev: Event) -> None:
+        timer = self._timer
+        timer.callbacks = self._cbs_latency
+        self.env._schedule(
+            timer,
+            self.comm.perf.message_latency(self.same_node, self.msg.nbytes),
+        )
+
+    def _after_latency(self, _ev: Event) -> None:
+        if self.same_node:
+            self._transfer()
+            return
+        bridge = self.comm.cluster.nodes[self._src_node].bridge
+        if bridge is not None:
+            req = self._req = bridge.request()
+            req.callbacks.append(self._cb_granted_src)
+            return
+        self._transfer()
+
+    def _src_granted(self, _ev: Event) -> None:
+        timer = self._timer
+        timer.callbacks = self._cbs_src_cpu
+        self.env._schedule(timer, BRIDGE_CPU_PER_MESSAGE)
+
+    def _src_cpu_done(self, _ev: Event) -> None:
+        req = self._req
+        self._req = None
+        req.resource.release(req)
+        self._transfer()
+
+    def _transfer(self) -> None:
+        comm = self.comm
+        msg = self.msg
+        if self.same_node:
+            nbytes = msg.nbytes
+            dst_node = self._src_node
+        else:
+            nbytes = msg.nbytes * comm.perf.inter.per_byte_overhead
+            dst_node = self._dst_node
+        if self._mirror:
+            # Event-per-segment, exactly like the legacy transfer — the
+            # completion pops keep their legacy heap positions.
+            segments = comm.cluster.transfer_segments(
+                self._src_node, dst_node, nbytes
+            )
+            self._pending = len(segments)
+            cb = self._cb_seg
+            for ev in segments:
+                ev.callbacks.append(cb)
+            return
+        # Event-free segments: completions run inside the link wake-up.
+        # Prime the countdown high first — a zero-wire segment completes
+        # during transfer_cb itself, before the true count is known.
+        self._pending = 1 << 30
+        n = comm.cluster.transfer_cb(
+            self._src_node, dst_node, nbytes, self._cb_seg
+        )
+        self._pending -= (1 << 30) - n
+        if self._pending == 0:
+            self._finish()
+
+    def _segment_done(self, _ev: Event = None) -> None:
+        self._pending -= 1
+        if self._pending:
+            return
+        if self.same_node:
+            # The legacy generator yielded the bare shm event: its tail ran
+            # during this same pop, so no join relay here even in mirror mode.
+            self._finish()
+            return
+        if self._mirror:
+            # Relay standing in for the legacy transfer ``AllOf`` event.
+            timer = self._timer
+            timer.callbacks = self._cbs_join
+            self.env._schedule(timer)
+            return
+        # Bridge-free internode path: no FIFO downstream, run the tail now.
+        self._finish()
+
+    def _after_join(self, _ev: Event) -> None:
+        bridge = self.comm.cluster.nodes[self._dst_node].bridge
+        if bridge is not None:
+            req = self._req = bridge.request()
+            req.callbacks.append(self._cb_granted_dst)
+            return
+        self._finish()
+
+    def _dst_granted(self, _ev: Event) -> None:
+        timer = self._timer
+        timer.callbacks = self._cbs_dst_cpu
+        self.env._schedule(timer, BRIDGE_CPU_PER_MESSAGE)
+
+    def _dst_cpu_done(self, _ev: Event) -> None:
+        req = self._req
+        self._req = None
+        req.resource.release(req)
+        self._finish()
+
+    def _finish(self) -> None:
+        comm = self.comm
+        msg = self.msg
+        tracer = comm.tracer
+        if tracer is not None and tracer.wants("mpi.deliver"):
+            tracer.record(
+                self.env.now, "mpi.deliver", f"{msg.src}->{msg.dst}",
+                tag=msg.tag, nbytes=msg.nbytes,
+            )
+        if self._mirror:
+            # Relay pair standing in for the legacy Store ``put`` event and
+            # the delivery process's completion event: the put-relay is
+            # scheduled first (as ``Store.put`` triggers the put event
+            # before matching a getter), the send-done event only when the
+            # relay pops — exactly the legacy seq positions.  The chain is
+            # recycled at the relay pop, not before, so the timer cannot be
+            # re-armed while the relay is still in the queue.
+            timer = self._timer
+            timer.callbacks = self._cbs_deposit
+            self.env._schedule(timer)
+            comm._queues[msg.dst].deliver(msg)
+            self.msg = None
+            return
+        done = self.done
+        self.msg = None
+        self.done = None
+        # Deposit first, complete the send second: the receiver's event is
+        # scheduled before the sender's, matching the Store-based order.
+        comm._queues[msg.dst].deliver(msg)
+        comm._pool.append(self)
+        done.succeed()
+
+    def _deposit_done(self, _ev: Event) -> None:
+        done = self.done
+        self.done = None
+        self.comm._pool.append(self)
+        done.succeed()
 
 
 class SimComm:
@@ -40,6 +378,17 @@ class SimComm:
         Endpoint placement.
     perf:
         Per-message cost model.
+    tracer:
+        Optional :class:`repro.des.trace.Tracer` receiving ``mpi.send``
+        / ``mpi.deliver`` records.
+    legacy_delivery:
+        ``True`` selects the original Store + generator delivery path,
+        ``False`` the indexed/callback hot path; ``None`` (default)
+        follows :func:`set_default_delivery`.
+    collective_fastpath:
+        Opt in to the analytic collective short-circuit
+        (:class:`repro.mpi.fastpath.CollectiveFastPath`).  Off by
+        default; see ``docs/perf.md`` for the eligibility rule.
     """
 
     def __init__(
@@ -49,6 +398,8 @@ class SimComm:
         rankmap: RankMap,
         perf: MpiPerf,
         tracer=None,
+        legacy_delivery: Optional[bool] = None,
+        collective_fastpath: bool = False,
     ) -> None:
         if rankmap.n_nodes > len(cluster.nodes):
             raise ValueError(
@@ -59,19 +410,45 @@ class SimComm:
         self.cluster = cluster
         self.rankmap = rankmap
         self.perf = perf
-        self._queues = [Store(env) for _ in range(rankmap.n_ranks)]
-        #: Optional :class:`repro.des.trace.Tracer` receiving
-        #: ``mpi.send`` / ``mpi.deliver`` records.
+        if legacy_delivery is None:
+            legacy_delivery = _DEFAULT_LEGACY_DELIVERY
+        self.legacy_delivery = bool(legacy_delivery)
+        if self.legacy_delivery:
+            self._queues = [Store(env) for _ in range(rankmap.n_ranks)]
+        else:
+            self._queues = [MessageQueue(env) for _ in range(rankmap.n_ranks)]
+        #: Free list of recycled delivery chains.
+        self._pool: list[_Delivery] = []
+        #: rank -> node id, precomputed (node_of is called four times per
+        #: message on the hot path).
+        self._node_id = [rankmap.node_of(r) for r in range(rankmap.n_ranks)]
         self.tracer = tracer
+        #: Opt-in analytic collective short-circuit (None when disabled).
+        self.fastpath = (
+            CollectiveFastPath(self) if collective_fastpath else None
+        )
         # Traffic accounting for reports/ablations.
         self.messages_sent = 0
         self.bytes_sent = 0.0
         self.internode_messages = 0
+        #: Sends where src == dst (counted in messages_sent/bytes_sent,
+        #: never in internode_messages; they take the shm path).
+        self.self_messages = 0
 
     @property
     def size(self) -> int:
         """Number of endpoints."""
         return self.rankmap.n_ranks
+
+    @property
+    def messages_matched_fast(self) -> int:
+        """Receives matched through the O(1) exact ``(src, tag)`` index
+        (0 on the legacy Store path, which has no index)."""
+        return sum(getattr(q, "matched_fast", 0) for q in self._queues)
+
+    def node_of_rank(self, rank: int) -> int:
+        """Node hosting ``rank`` (communicator-local numbering)."""
+        return self._node_id[rank]
 
     # -- point to point -----------------------------------------------------------
     def isend(
@@ -83,45 +460,31 @@ class SimComm:
         payload=None,
     ) -> Event:
         """Non-blocking send; the event fires when the message is delivered."""
-        self._check_rank(src)
-        self._check_rank(dst)
+        nodes = self._node_id
+        if not (0 <= src < len(nodes) and 0 <= dst < len(nodes)):
+            self._check_rank(src)
+            self._check_rank(dst)
         msg = Message(src, dst, tag, nbytes, payload)
-        same_node = self.rankmap.same_node(src, dst)
+        same_node = src == dst or nodes[src] == nodes[dst]
         self.messages_sent += 1
         self.bytes_sent += nbytes
-        if not same_node:
+        if src == dst:
+            self.self_messages += 1
+        elif not same_node:
             self.internode_messages += 1
         if self.tracer is not None and self.tracer.wants("mpi.send"):
             self.tracer.record(
                 self.env.now, "mpi.send", f"{src}->{dst}",
                 tag=tag, nbytes=nbytes, same_node=same_node,
             )
-
-        def deliver():
-            yield self.env.timeout(self.perf.message_latency(same_node, nbytes))
-            if same_node:
-                src_node = self.rankmap.node_of(src)
-                yield self.cluster.nodes[src_node].shm.transfer(nbytes)
-            else:
-                src_node = self.rankmap.node_of(src)
-                dst_node = self.rankmap.node_of(dst)
-                # Bridge+NAT (Docker): each message is processed by the
-                # node's single softirq pipeline at both ends — serialized.
-                yield from self._bridge_hop(src_node)
-                yield self.cluster.transfer(
-                    src_node,
-                    dst_node,
-                    nbytes * self.perf.inter.per_byte_overhead,
-                )
-                yield from self._bridge_hop(dst_node)
-            if self.tracer is not None and self.tracer.wants("mpi.deliver"):
-                self.tracer.record(
-                    self.env.now, "mpi.deliver", f"{src}->{dst}",
-                    tag=tag, nbytes=nbytes,
-                )
-            yield self._queues[dst].put(msg)
-
-        return self.env.process(deliver(), name=f"msg {src}->{dst} t{tag}")
+        if self.legacy_delivery:
+            return self.env.process(
+                self._legacy_deliver(msg, same_node),
+                name=f"msg {src}->{dst} t{tag}",
+            )
+        pool = self._pool
+        chain = pool.pop() if pool else _Delivery(self)
+        return chain.start(msg, same_node)
 
     def send(self, src: int, dst: int, tag: int, nbytes: float, payload=None):
         """Blocking send as a generator: ``yield from comm.send(...)``."""
@@ -130,13 +493,15 @@ class SimComm:
     def recv(self, dst: int, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> Event:
         """Event yielding the first matching :class:`Message`."""
         self._check_rank(dst)
+        if self.legacy_delivery:
 
-        def match(m: Message) -> bool:
-            return (src == ANY_SOURCE or m.src == src) and (
-                tag == ANY_TAG or m.tag == tag
-            )
+            def match(m: Message) -> bool:
+                return (src == ANY_SOURCE or m.src == src) and (
+                    tag == ANY_TAG or m.tag == tag
+                )
 
-        return self._queues[dst].get(match)
+            return self._queues[dst].get(match)
+        return self._queues[dst].get(src, tag)
 
     def sendrecv(
         self,
@@ -150,7 +515,10 @@ class SimComm:
         """Concurrent exchange; generator returning the received message."""
         send_done = self.isend(me, dst, tag, nbytes, payload)
         recv_done = self.recv(me, src, tag)
-        yield self.env.all_of([send_done, recv_done])
+        if self.legacy_delivery:
+            yield self.env.all_of([send_done, recv_done])
+        else:
+            yield _Join2(self.env, send_done, recv_done)
         return recv_done.value
 
     # -- groups -------------------------------------------------------------------
@@ -165,13 +533,38 @@ class SimComm:
         return GroupComm(self, members)
 
     # -- internals ----------------------------------------------------------------
+    def _legacy_deliver(self, msg: Message, same_node: bool):
+        """The original per-message generator process (reference path)."""
+        src, dst = msg.src, msg.dst
+        nbytes = msg.nbytes
+        yield self.env.timeout(self.perf.message_latency(same_node, nbytes))
+        if same_node:
+            src_node = self.rankmap.node_of(src)
+            yield self.cluster.nodes[src_node].shm.transfer(nbytes)
+        else:
+            src_node = self.rankmap.node_of(src)
+            dst_node = self.rankmap.node_of(dst)
+            # Bridge+NAT (Docker): each message is processed by the
+            # node's single softirq pipeline at both ends — serialized.
+            yield from self._bridge_hop(src_node)
+            yield self.cluster.transfer(
+                src_node,
+                dst_node,
+                nbytes * self.perf.inter.per_byte_overhead,
+            )
+            yield from self._bridge_hop(dst_node)
+        if self.tracer is not None and self.tracer.wants("mpi.deliver"):
+            self.tracer.record(
+                self.env.now, "mpi.deliver", f"{src}->{dst}",
+                tag=msg.tag, nbytes=nbytes,
+            )
+        yield self._queues[dst].put(msg)
+
     def _bridge_hop(self, node_id: int):
         """Pass the node's serialized bridge pipeline, if one exists."""
         bridge = self.cluster.nodes[node_id].bridge
         if bridge is None:
             return
-        from repro.hardware.network import BRIDGE_CPU_PER_MESSAGE
-
         with (yield bridge.request()):
             yield self.env.timeout(BRIDGE_CPU_PER_MESSAGE)
 
@@ -202,10 +595,28 @@ class GroupComm:
         self.parent = parent
         self.members = members
         self._to_group = {g: i for i, g in enumerate(members)}
+        #: Group-local analytic collective short-circuit (same opt-in as
+        #: the parent's; eligibility is evaluated against the *member*
+        #: nodes, so a group can be eligible even when the parent is not).
+        self.fastpath = (
+            CollectiveFastPath(self) if parent.fastpath is not None else None
+        )
 
     @property
     def env(self):
         return self.parent.env
+
+    @property
+    def cluster(self):
+        return self.parent.cluster
+
+    @property
+    def perf(self):
+        return self.parent.perf
+
+    def node_of_rank(self, rank: int) -> int:
+        """Node hosting group rank ``rank``."""
+        return self.parent.node_of_rank(self.translate(rank))
 
     @property
     def tracer(self):
@@ -244,5 +655,8 @@ class GroupComm:
     def sendrecv(self, me, dst, src, tag, nbytes, payload=None):
         send_done = self.isend(me, dst, tag, nbytes, payload)
         recv_done = self.recv(me, src, tag)
-        yield self.env.all_of([send_done, recv_done])
+        if self.parent.legacy_delivery:
+            yield self.env.all_of([send_done, recv_done])
+        else:
+            yield _Join2(self.env, send_done, recv_done)
         return recv_done.value

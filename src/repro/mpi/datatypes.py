@@ -2,28 +2,58 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any
+
+#: Wildcard source rank for :meth:`SimComm.recv` (matches any sender).
+ANY_SOURCE = -1
+#: Wildcard tag for :meth:`SimComm.recv` (matches any tag).
+ANY_TAG = -1
 
 #: Tag space reserved for collective operations (one sub-tag per round).
 COLLECTIVE_TAG_BASE = 1_000_000
 
 
-@dataclass(frozen=True)
 class Message:
-    """An in-flight or delivered MPI message (metadata only)."""
+    """An in-flight or delivered MPI message (metadata only).
 
-    src: int
-    dst: int
-    tag: int
-    nbytes: float
-    payload: Any = None
+    A hand-rolled slots class rather than a dataclass: one is built per
+    simulated message, and a frozen dataclass pays ~3x its construction
+    cost in ``object.__setattr__`` calls.  Value semantics (eq over the
+    field tuple, a dataclass-style repr) are kept; fields are not to be
+    mutated after construction.
+    """
 
-    def __post_init__(self) -> None:
-        if self.nbytes < 0:
+    __slots__ = ("src", "dst", "tag", "nbytes", "payload")
+
+    def __init__(
+        self, src: int, dst: int, tag: int, nbytes: float, payload: Any = None
+    ) -> None:
+        if nbytes < 0:
             raise ValueError("nbytes must be >= 0")
-        if self.src < 0 or self.dst < 0:
+        if src < 0 or dst < 0:
             raise ValueError("ranks must be >= 0")
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.nbytes = nbytes
+        self.payload = payload
+
+    def _astuple(self) -> tuple:
+        return (self.src, self.dst, self.tag, self.nbytes, self.payload)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Message):
+            return NotImplemented
+        return self._astuple() == other._astuple()
+
+    def __hash__(self) -> int:
+        return hash(self._astuple())
+
+    def __repr__(self) -> str:
+        return (
+            f"Message(src={self.src!r}, dst={self.dst!r}, tag={self.tag!r}, "
+            f"nbytes={self.nbytes!r}, payload={self.payload!r})"
+        )
 
 
 def collective_tag(op_id: int, round_id: int) -> int:

@@ -1,0 +1,224 @@
+"""Analytic short-circuit for contention-free ring collectives.
+
+A ring collective on one rank per node exchanges messages only between
+ring neighbours, and each rank's round ``r+1`` send starts strictly after
+its round ``r`` send has been delivered (the ``sendrecv`` barrier).  On
+an idle network each NIC therefore carries **at most one flow at any
+instant**, so the fair-share links degenerate to fixed-rate pipes and the
+whole schedule has a closed form:
+
+    ``t_i^(r+1) = deliver(max(t_i^(r), t_(i-1)^(r)))``
+
+with ``deliver(t) = fl(fl(t + L) + w)`` — exactly the float arithmetic
+the simulated delivery chain performs, where ``L`` is the per-message
+latency (:meth:`MpiPerf.message_latency`, including the rendezvous
+handshake when it applies) and ``w = fl(fl(fl(nbytes·o_mpi)·o_link)/bw)``
+is the single-flow wire time.  IEEE-754 addition is monotone, so
+``max`` and the recurrence commute with rounding and the closed form
+reproduces the simulated completion times **bit for bit** (the parity
+suite in ``tests/mpi/test_fastpath.py`` checks p ∈ {2..9, 16}, staggered
+entries included).
+
+Eligibility is a *static, structural* rule so that every rank takes the
+same branch (:meth:`CollectiveFastPath.usable`):
+
+- at least 2 ranks, every participant on its **own node** (pairwise
+  distinct — evaluated per communicator, so a :class:`GroupComm` whose
+  members land on distinct nodes is eligible even when its parent,
+  packing several ranks per node, is not);
+- no switch topology (uplinks would be shared by non-neighbour flows);
+- no Docker bridge pipelines (the FIFO softirq queue couples messages).
+
+On top of that, :meth:`_resolve` asserts at run time that every
+participating NIC is idle when the last rank enters the collective —
+outside traffic would contend with the ring flows and the closed form
+would be wrong.  The short-circuit is **opt-in**
+(``SimComm(collective_fastpath=True)``) and covers:
+
+- the two structurally contention-free ring algorithms, ``allgather``
+  and ``allreduce_ring`` (:meth:`ring_rounds`), with arbitrary entry
+  times — neighbour-only flows never share a NIC;
+- **lockstep recursive-doubling** ``allreduce`` on power-of-two sizes
+  (:meth:`lockstep_rounds`): with all entries at exactly the same time
+  every round is a symmetric pairwise exchange, each NIC carries one
+  transmit and one receive flow on its two independent pipes, and every
+  rank advances as ``t' = fl(fl(t + L) + w)`` per round.  Entries that
+  are *not* exactly equal are a :class:`SimulationError` — a straggler's
+  round-``r`` flow can overlap another pair's round-``r+1`` flow on a
+  shared receive pipe, which fair-sharing would slow down and the
+  closed form would not.
+
+Algorithms whose flows can overlap under any entry schedule (alltoall,
+dissemination barrier) are excluded.
+
+Observable differences (documented, by design): per-message ``mpi.send``
+/ ``mpi.deliver`` trace records are not emitted (the messages are never
+materialised) and ``bytes_sent`` is accumulated in one multiply-add, so
+it can differ from the per-message sum in the last ulp.  ``mpi.collective``
+records, completion times, ``messages_sent`` and ``internode_messages``
+are identical.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.des.engine import SimulationError
+from repro.des.events import Event
+from repro.des.links import _EPS_BYTES
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.comm import SimComm
+
+
+class _Session:
+    """One in-progress collective: per-rank entry times and events."""
+
+    __slots__ = ("kind", "rounds", "nbytes", "entry", "events", "joined")
+
+    def __init__(self, kind: str, p: int, rounds: int, nbytes: float) -> None:
+        self.kind = kind
+        self.rounds = rounds
+        self.nbytes = nbytes
+        self.entry: List[float] = [0.0] * p
+        self.events: List[Optional[Event]] = [None] * p
+        self.joined = 0
+
+
+class CollectiveFastPath:
+    """Closed-form scheduler for eligible ring collectives on ``comm``."""
+
+    def __init__(self, comm: "SimComm") -> None:
+        self.comm = comm
+        self._sessions: Dict[int, _Session] = {}
+        #: Collectives resolved analytically instead of message-by-message.
+        self.collectives_short_circuited = 0
+        #: Messages accounted for analytically (counted into the comm's
+        #: traffic counters without being simulated).
+        self.messages_modelled = 0
+        self._usable: Optional[bool] = None
+
+    def usable(self) -> bool:
+        """The static eligibility rule (cached; identical on every rank)."""
+        if self._usable is None:
+            self._usable = self._compute_usable()
+        return self._usable
+
+    def _compute_usable(self) -> bool:
+        comm = self.comm
+        p = comm.size
+        if p < 2:
+            return False
+        cluster = comm.cluster
+        if cluster._topology is not None:
+            return False
+        seen: set[int] = set()
+        for i in range(p):
+            nid = comm.node_of_rank(i)
+            if nid in seen:
+                return False  # two participants share a NIC
+            seen.add(nid)
+            node = cluster.nodes[nid]
+            if node.bridge is not None:
+                return False
+            if node.nic_tx is None or node.nic_rx is None:
+                return False
+        return True
+
+    def _join(
+        self, kind: str, rank: int, op: int, rounds: int, nbytes: float
+    ) -> Event:
+        """Register ``rank`` in session ``op``; resolve once all joined."""
+        comm = self.comm
+        env = comm.env
+        p = comm.size
+        sess = self._sessions.get(op)
+        if sess is None:
+            sess = self._sessions[op] = _Session(kind, p, rounds, nbytes)
+        elif sess.kind != kind or sess.rounds != rounds or sess.nbytes != nbytes:
+            raise SimulationError(
+                f"collective fast path: op {op} joined with mismatched "
+                f"kind/rounds/nbytes across ranks"
+            )
+        if sess.events[rank] is not None:
+            raise SimulationError(
+                f"collective fast path: rank {rank} joined op {op} twice"
+            )
+        ev = Event(env)
+        sess.entry[rank] = env.now
+        sess.events[rank] = ev
+        sess.joined += 1
+        if sess.joined == p:
+            del self._sessions[op]
+            self._resolve(sess)
+        return ev
+
+    def ring_rounds(
+        self, rank: int, op: int, rounds: int, nbytes: float
+    ) -> Event:
+        """Join the ring collective ``op``; the returned event fires at
+        this rank's closed-form completion time once all ranks joined."""
+        return self._join("ring", rank, op, rounds, nbytes)
+
+    def lockstep_rounds(
+        self, rank: int, op: int, rounds: int, nbytes: float
+    ) -> Event:
+        """Join a lockstep pairwise-exchange collective (recursive
+        doubling on a power-of-two size).  All ranks must enter at
+        exactly the same simulated time; see the module docstring."""
+        return self._join("lockstep", rank, op, rounds, nbytes)
+
+    def _resolve(self, sess: _Session) -> None:
+        comm = self.comm
+        env = comm.env
+        perf = comm.perf
+        nodes = comm.cluster.nodes
+        p = len(sess.entry)
+        nbytes = sess.nbytes
+        for i in range(p):
+            node = nodes[comm.node_of_rank(i)]
+            if node.nic_tx._flows or node.nic_rx._flows:
+                raise SimulationError(
+                    "collective fast path: NIC of node "
+                    f"{node.node_id} busy at collective entry; the closed "
+                    "form is exact only on idle links — disable "
+                    "collective_fastpath for workloads that overlap "
+                    "point-to-point traffic with collectives"
+                )
+        link = nodes[comm.node_of_rank(0)].nic_tx
+        # The exact float arithmetic of the simulated chain, in the same
+        # association order: delivery(t) = fl(fl(t + L) + w) with
+        # w = fl(fl(fl(nbytes·o_mpi)·o_link) / bandwidth); transfers at or
+        # below the link's byte epsilon complete instantly (w = 0).
+        latency = perf.message_latency(False, nbytes)
+        wire = (nbytes * perf.inter.per_byte_overhead) * link.per_byte_overhead
+        w = wire / link.bandwidth if wire > _EPS_BYTES else 0.0
+        if sess.kind == "lockstep":
+            t0 = sess.entry[0]
+            if any(e != t0 for e in sess.entry):
+                raise SimulationError(
+                    "collective fast path: lockstep collective entered at "
+                    "different times across ranks; recursive doubling is "
+                    "only contention-free when every rank enters together "
+                    "— disable collective_fastpath for staggered workloads"
+                )
+            for _ in range(sess.rounds):
+                t0 = (t0 + latency) + w
+            t = [t0] * p
+        else:
+            t = sess.entry
+            for _ in range(sess.rounds):
+                t = [(max(t[i], t[i - 1]) + latency) + w for i in range(p)]
+        # Traffic counters live on the root communicator (a GroupComm
+        # delegates its sends to the parent, which counts them).
+        acct = getattr(comm, "parent", comm)
+        msgs = p * sess.rounds
+        acct.messages_sent += msgs
+        acct.bytes_sent += nbytes * msgs
+        acct.internode_messages += msgs  # one rank per node: all cross nodes
+        self.messages_modelled += msgs
+        self.collectives_short_circuited += 1
+        for i in range(p):
+            ev = sess.events[i]
+            ev._value = None  # succeeds with None at the exact absolute time
+            env._schedule_at(ev, t[i])

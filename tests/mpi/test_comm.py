@@ -191,3 +191,102 @@ def test_rankmap_must_fit_cluster(make_comm):
     perf = MpiPerf.for_fabric(catalog.LENOX.fabric, NetworkPath.HOST_NATIVE)
     with pytest.raises(ValueError):
         SimComm(env, cluster, rm, perf)
+
+
+def _make_comm_mode(n_ranks, n_nodes, legacy):
+    from repro.des import Environment
+    from repro.hardware.cluster import Cluster
+    from repro.mpi.comm import SimComm
+    from repro.mpi.topology import RankMap
+
+    env = Environment()
+    spec = catalog.MARENOSTRUM4
+    cluster = Cluster(env, spec, num_nodes=n_nodes)
+    cluster.wire_network(NetworkPath.HOST_NATIVE)
+    rm = RankMap(n_ranks=n_ranks, n_nodes=n_nodes)
+    perf = MpiPerf.for_fabric(spec.fabric, NetworkPath.HOST_NATIVE)
+    return env, SimComm(env, cluster, rm, perf, legacy_delivery=legacy)
+
+
+@pytest.mark.parametrize("legacy", [False, True], ids=["fast", "legacy"])
+def test_self_send_accounting(legacy):
+    """src == dst sends take the shm path and are pinned as self
+    messages — never internode, regardless of delivery implementation."""
+    env, comm = _make_comm_mode(2, 2, legacy)
+    got = {}
+
+    def body(r):
+        yield comm.isend(0, 0, tag=3, nbytes=700)
+        msg = yield comm.recv(0, 0, 3)
+        got["msg"] = msg
+
+    env.process(body(0))
+    env.run()
+    assert got["msg"].nbytes == 700
+    assert comm.messages_sent == 1
+    assert comm.bytes_sent == 700
+    assert comm.self_messages == 1
+    assert comm.internode_messages == 0
+
+
+@pytest.mark.parametrize("legacy", [False, True], ids=["fast", "legacy"])
+def test_collective_traffic_accounting_pinned(legacy):
+    """Ring allgather on 4 ranks over 2 nodes: exactly p(p-1) = 12
+    messages, 6 of them crossing nodes, none of them self-sends."""
+    from repro.mpi import collectives
+    from repro.mpi.launcher import run_spmd
+
+    env, comm = _make_comm_mode(4, 2, legacy)
+
+    def body(c, rank):
+        yield from collectives.allgather(c, rank, op=1, nbytes_per_rank=250)
+
+    procs = run_spmd(comm, body)
+    env.run(until=env.all_of(procs))
+    assert comm.messages_sent == 12
+    assert comm.bytes_sent == 3000
+    assert comm.internode_messages == 6
+    assert comm.self_messages == 0
+
+
+@pytest.mark.parametrize("legacy", [False, True], ids=["fast", "legacy"])
+def test_matched_fast_counter(legacy):
+    """The exact-match counter reflects the indexed hot path (and stays
+    zero on the legacy Store path, which has no index)."""
+    env, comm = _make_comm_mode(2, 2, legacy)
+
+    def sender(c, r):
+        yield from c.send(0, 1, tag=4, nbytes=100)
+
+    def receiver(c, r):
+        yield c.recv(1, 0, 4)
+
+    env.process(sender(comm, 0))
+    env.process(receiver(comm, 1))
+    env.run()
+    assert comm.messages_matched_fast == (0 if legacy else 1)
+
+
+def test_delivery_modes_agree_on_timing():
+    """Legacy and fast delivery produce identical completion times."""
+    times = {}
+    for legacy in (False, True):
+        env, comm = _make_comm_mode(6, 3, legacy)
+        finish = {}
+
+        def body(r, env=env, comm=comm, finish=finish):
+            for step in range(3):
+                evs = []
+                for nb in ((r - 1) % 6, (r + 1) % 6):
+                    tag = step * 10 + (0 if nb < r else 1)
+                    evs.append(comm.isend(r, nb, tag, 40_000))
+                    tag = step * 10 + (0 if r < nb else 1)
+                    evs.append(comm.recv(r, nb, tag))
+                yield env.all_of(evs)
+            finish[r] = env.now
+
+        for r in range(6):
+            env.process(body(r))
+        env.run()
+        times[legacy] = finish
+    assert times[False] == times[True]
