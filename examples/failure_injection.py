@@ -2,28 +2,37 @@
 """Failure injection: what a node crash does to a tightly coupled job.
 
 Production context for the paper's runs: a 256-node Alya job is only as
-reliable as its weakest node.  This example kills one rank mid-allreduce
-and shows (a) the failure surfacing through the simulator exactly like a
-real MPI abort, and (b) the cost of the restart-from-checkpoint recovery
-policy as a function of checkpoint interval — the operational knob the
-I/O study (bench_ext_io_overhead) prices.
+reliable as its weakest node.  This example kills one node mid-allreduce
+and shows (a) the typed :class:`RankFailure` surfacing through
+``MpiJob`` exactly like a real MPI abort — surviving ranks hang in the
+collective until the failure detector fires, then the whole job is torn
+down — and (b) the cost of the restart-from-checkpoint recovery policy
+as a function of checkpoint interval — the operational knob the I/O
+study (bench_ext_io_overhead) prices.
+
+(For declarative fault campaigns — seeded schedules of crashes, link
+faults and registry failures over a whole study — see docs/faults.md;
+this example drives the abort machinery by hand.)
 
 Run:  python examples/failure_injection.py
 """
 
-from repro.des import Environment, Interrupt
+from repro.des import Environment
+from repro.faults.errors import RankFailure
 from repro.hardware import catalog
 from repro.hardware.cluster import Cluster
 from repro.hardware.network import NetworkPath
 from repro.mpi import collectives
 from repro.mpi.comm import SimComm
-from repro.mpi.launcher import run_spmd
+from repro.mpi.launcher import MpiJob
 from repro.mpi.perf import MpiPerf
 from repro.mpi.topology import RankMap
 
+DETECT_TIMEOUT = 0.05  # failure-detector delay: crash -> delivery
+
 
 def run_with_crash(crash_at_step):
-    """A 16-rank iterative job; one rank dies at ``crash_at_step``."""
+    """A 16-rank iterative job; one node dies at ``crash_at_step``."""
     env = Environment()
     cluster = Cluster(env, catalog.MARENOSTRUM4, num_nodes=4)
     cluster.wire_network(NetworkPath.HOST_NATIVE)
@@ -38,25 +47,30 @@ def run_with_crash(crash_at_step):
             yield env.timeout(STEP_SECONDS)
             yield from collectives.allreduce(c, rank, op=step, nbytes=16)
 
-    procs = run_spmd(comm, body)
+    # The abort event is what a FaultInjector arms for a scheduled
+    # NODE_CRASH; here we fire it by hand.
+    abort = env.event()
 
     def killer():
-        yield env.timeout(crash_at_step * STEP_SECONDS)
-        procs[7].interrupt(cause=f"node failure at step {crash_at_step}")
+        crash_time = crash_at_step * STEP_SECONDS
+        yield env.timeout(crash_time + DETECT_TIMEOUT)
+        abort.succeed(RankFailure(node=1, time=crash_time))
 
     env.process(killer())
-    try:
-        env.run(until=env.all_of(procs))
-        return env.now, None
-    except Interrupt as exc:
-        return env.now, exc.cause
+    job = MpiJob(comm, body, abort_event=abort)
+    driver = env.process(job.run())
+    env.run(until=driver)
+    return env.now, driver.value
 
 
 def main() -> None:
-    elapsed, cause = run_with_crash(crash_at_step=30)
-    print(f"Job aborted after {elapsed:.1f} s of simulated time: {cause}")
-    print("(the surviving ranks were blocked in the allreduce — a real MPI")
+    elapsed, result = run_with_crash(crash_at_step=30)
+    print(f"Job aborted after {elapsed:.1f} s of simulated time: "
+          f"{result.failure}")
+    print(f"(detected {DETECT_TIMEOUT}s after the crash; "
+          f"{len(result.failed_ranks)} ranks torn down — a real MPI")
     print(" job shows exactly this hang-then-abort signature)\n")
+    assert result.failed and isinstance(result.failure, RankFailure)
 
     # Recovery economics: restart from the last checkpoint.
     STEP_SECONDS = 0.1

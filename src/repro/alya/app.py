@@ -122,6 +122,7 @@ class SimulatedAlya:
         topology: str = "grid",
         overlap_halo: bool = False,
         obs=None,
+        faults=None,
     ) -> None:
         if sim_steps < 1:
             raise ValueError("sim_steps must be >= 1")
@@ -133,6 +134,10 @@ class SimulatedAlya:
         #: Optional :class:`repro.obs.span.Observability`: per-step solver
         #: phase spans on each endpoint's ``ep-{n}`` track.
         self.obs = obs
+        #: Optional :class:`repro.faults.injector.FaultInjector`: each
+        #: step's compute is scaled by the endpoint node's straggler
+        #: factor at step start.  ``None`` is the exact nominal path.
+        self.faults = faults
         #: Overlap the predictor halo with the step's compute
         #: (non-blocking exchange posted before the arithmetic, waited
         #: after) — the classic latency-hiding optimisation, exposed for
@@ -254,6 +259,8 @@ class SimulatedAlya:
         iface = work.interface_bytes() if work.case is CaseKind.FSI else 0.0
         phases = PhaseTimes()
         obs = self.obs
+        faults = self.faults
+        ep_node = comm.rankmap.node_of(ep) if faults is not None else 0
         track = f"ep-{ep}"
 
         def mark(name: str, t0: float) -> None:
@@ -264,13 +271,19 @@ class SimulatedAlya:
         for step in range(self.sim_steps):
             base = step * _OPS_PER_STEP
             step_t0 = env.now
+            # A straggling node computes slower; the multiplier is 1.0
+            # (and `comp_step is comp`) whenever no injector is armed.
+            comp_step = (
+                comp if faults is None
+                else comp * faults.cpu_factor(ep_node, env.now)
+            )
             if self.overlap_halo:
                 # Post the predictor halo, compute behind it, wait after.
                 pending = self._post_halo(
                     comm, ep, base + _OP_HALO_MAIN, halo_main
                 )
                 t = env.now
-                yield env.timeout(comp)
+                yield env.timeout(comp_step)
                 phases.compute += env.now - t
                 mark("compute", t)
                 t = env.now
@@ -281,7 +294,7 @@ class SimulatedAlya:
             else:
                 # 1. Arithmetic of the whole step.
                 t = env.now
-                yield env.timeout(comp)
+                yield env.timeout(comp_step)
                 phases.compute += env.now - t
                 mark("compute", t)
                 # 2. Predictor halo.

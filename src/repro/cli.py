@@ -14,10 +14,15 @@ Examples
     repro-study all                  # everything, with shape checks
     repro-study trace --fig fig1     # Chrome trace + metrics + digest
     repro-study trace --fig fig3 --nodes 8 --out /tmp/t
+    repro-study faults               # fault-sensitivity study
+    repro-study fig2 --fault-plan 'seed=7,link_rate=20,horizon=0.4'
+    repro-study fig3 --keep-going --resume .repro-ckpt
 
 Grids are always reassembled in deterministic order: ``--workers N``
 changes wall-clock time, never the tables, verdicts or digests (see
-``docs/parallel.md``).
+``docs/parallel.md``).  Fault injection (``--fault-plan``, the
+``faults`` study) is deterministic too — same plan seed, same failure
+timeline, any worker count (see ``docs/faults.md``).
 """
 
 from __future__ import annotations
@@ -29,12 +34,14 @@ from typing import Callable, Optional, Sequence
 from repro.core.figures import (
     ascii_table,
     deployment_table,
+    fault_table,
     fig1_table,
     fig2_table,
     fig3_table,
 )
 from repro.core.report import (
     check_deployment,
+    check_fault_sensitivity,
     check_fig1,
     check_fig2,
     check_fig3,
@@ -42,11 +49,16 @@ from repro.core.report import (
 )
 from repro.core.study import (
     ContainerSolutionsStudy,
+    FaultSensitivityStudy,
     PortabilityStudy,
     ScalabilityStudy,
 )
 from repro.exec import ExperimentExecutor
+from repro.faults import FaultPlan
 from repro.hardware import catalog
+
+#: Per-command default for ``--sim-steps`` when the flag is not given.
+_DEFAULT_SIM_STEPS = 2
 
 
 def _executor(args) -> ExperimentExecutor:
@@ -55,12 +67,37 @@ def _executor(args) -> ExperimentExecutor:
         workers=args.workers,
         cache=args.cache,
         cache_dir=args.cache_dir,
+        timeout=args.timeout,
+        keep_going=args.keep_going,
+        checkpoint_dir=args.resume,
     )
+
+
+def _fault_plan(args):
+    """The ``--fault-plan`` flag as a :class:`FaultPlan` (or None)."""
+    if args.fault_plan is None:
+        return None
+    return FaultPlan.load(args.fault_plan)
+
+
+def _steps(args, default: int = _DEFAULT_SIM_STEPS) -> int:
+    return args.sim_steps if args.sim_steps is not None else default
+
+
+def _print_failures(rows) -> None:
+    """Render keep-going failures distinctly below a study's table."""
+    if not rows:
+        return
+    print("\nFailed grid points (kept by --keep-going):")
+    for label, detail, fp in rows:
+        print(f"  [FAILED] {label} {detail}: {fp.error_type}: {fp.error} "
+              f"(after {fp.attempts} attempt(s))")
 
 
 def _fig1(args) -> bool:
     outcome = ContainerSolutionsStudy(
-        sim_steps=args.sim_steps, executor=_executor(args)
+        sim_steps=_steps(args), executor=_executor(args),
+        fault_plan=_fault_plan(args),
     ).run()
     print("Fig. 1 — artery CFD on Lenox, average elapsed time [s]\n")
     print(fig1_table(outcome))
@@ -71,8 +108,8 @@ def _fig1(args) -> bool:
 
 def _eval1(args) -> bool:
     study = ContainerSolutionsStudy(
-        configs=((28, 4),), sim_steps=args.sim_steps,
-        executor=_executor(args),
+        configs=((28, 4),), sim_steps=_steps(args),
+        executor=_executor(args), fault_plan=_fault_plan(args),
     )
     rows = study.run().deployment_rows()
     print("§B.1 — deployment overhead, image size, execution time\n")
@@ -84,7 +121,8 @@ def _eval1(args) -> bool:
 
 def _fig2(args) -> bool:
     fig2 = PortabilityStudy(
-        sim_steps=args.sim_steps, executor=_executor(args)
+        sim_steps=_steps(args), executor=_executor(args),
+        fault_plan=_fault_plan(args),
     ).run_fig2()
     print("Fig. 2 — artery CFD on CTE-POWER, elapsed time [s]\n")
     print(fig2_table(fig2))
@@ -95,7 +133,8 @@ def _fig2(args) -> bool:
 
 def _eval2(args) -> bool:
     results, errors = PortabilityStudy(
-        sim_steps=args.sim_steps, executor=_executor(args)
+        sim_steps=_steps(args), executor=_executor(args),
+        fault_plan=_fault_plan(args),
     ).run_three_archs()
     print("§B.2 — one case, three architectures (Singularity)\n")
     rows = [
@@ -121,12 +160,30 @@ def _eval2(args) -> bool:
 
 def _fig3(args) -> bool:
     outcome = ScalabilityStudy(
-        sim_steps=args.sim_steps, executor=_executor(args)
+        sim_steps=_steps(args), executor=_executor(args),
+        fault_plan=_fault_plan(args),
     ).run()
     print("Fig. 3 — artery FSI on MareNostrum4, speedup vs 4 nodes\n")
     print(fig3_table(outcome))
     verdicts = check_fig3(outcome)
     print("\n" + verdict_lines(verdicts))
+    return all(verdicts.values())
+
+
+def _faults(args) -> bool:
+    # The fault study needs enough steps for communication to dominate
+    # the fault window; 8 is its validated default (docs/faults.md).
+    out = FaultSensitivityStudy(
+        sim_steps=_steps(args, default=8), executor=_executor(args)
+    ).run()
+    print("Fault sensitivity — CTE-POWER, link degradation x image flavour\n")
+    print(fault_table(out))
+    print(f"\nfault window (simulated clock span): {out.window:.4f} s")
+    verdicts = check_fault_sensitivity(out)
+    print("\n" + verdict_lines(verdicts))
+    _print_failures(
+        [(label, f"rate={rate:g}", fp) for label, rate, fp in out.failed()]
+    )
     return all(verdicts.values())
 
 
@@ -189,7 +246,7 @@ def _trace(args) -> bool:
             n_nodes=args.nodes,
             ranks_per_node=7,
             threads_per_rank=4,
-            sim_steps=args.sim_steps,
+            sim_steps=_steps(args),
             granularity=EndpointGranularity.RANK,
         )
     else:  # fig3
@@ -206,7 +263,7 @@ def _trace(args) -> bool:
             n_nodes=args.nodes,
             ranks_per_node=catalog.MARENOSTRUM4.node.cores,
             threads_per_rank=1,
-            sim_steps=args.sim_steps,
+            sim_steps=_steps(args),
             granularity=EndpointGranularity.NODE,
         )
 
@@ -258,14 +315,16 @@ _COMMANDS: dict[str, Callable] = {
     "fig3": _fig3,
     "eval1": _eval1,
     "eval2": _eval2,
+    "faults": _faults,
     "claims": _claims,
     "microbench": _microbench,
     "trace": _trace,
 }
 
 #: ``all`` regenerates the read-only artefacts; ``trace`` writes files and
-#: is therefore only run when named explicitly.
-_ALL_EXCLUDES = {"trace"}
+#: ``faults`` deliberately perturbs runs, so both only run when named
+#: explicitly.
+_ALL_EXCLUDES = {"trace", "faults"}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -284,9 +343,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--sim-steps",
         type=int,
-        default=2,
+        default=None,
         metavar="N",
-        help="time steps the simulator executes per run (default 2)",
+        help="time steps the simulator executes per run "
+             "(default 2; 8 for the faults study)",
     )
     parser.add_argument(
         "--workers",
@@ -308,6 +368,43 @@ def build_parser() -> argparse.ArgumentParser:
         default=".repro-cache",
         metavar="DIR",
         help="result-cache directory (default .repro-cache)",
+    )
+    robust = parser.add_argument_group("robustness options")
+    robust.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="PLAN",
+        help="inject faults: a JSON plan file or an inline "
+             "'key=value,...' spec, e.g. 'seed=7,link_rate=20,"
+             "horizon=0.4' (see docs/faults.md)",
+    )
+    robust.add_argument(
+        "--keep-going",
+        dest="keep_going",
+        action="store_true",
+        default=False,
+        help="record failed grid points and finish the sweep instead "
+             "of aborting on the first error",
+    )
+    robust.add_argument(
+        "--fail-fast",
+        dest="keep_going",
+        action="store_false",
+        help="abort on the first failed grid point (default)",
+    )
+    robust.add_argument(
+        "--resume",
+        default=None,
+        metavar="DIR",
+        help="checkpoint grid progress under DIR and resume an "
+             "interrupted sweep from it",
+    )
+    robust.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-experiment wall-clock timeout (default: none)",
     )
     group = parser.add_argument_group("trace options")
     group.add_argument(
@@ -342,9 +439,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.sim_steps < 1:
+    if args.sim_steps is not None and args.sim_steps < 1:
         print("error: --sim-steps must be >= 1", file=sys.stderr)
         return 2
+    if args.timeout is not None and args.timeout <= 0:
+        print("error: --timeout must be > 0", file=sys.stderr)
+        return 2
+    if args.fault_plan is not None:
+        try:
+            FaultPlan.load(args.fault_plan)
+        except (ValueError, OSError, KeyError, TypeError) as exc:
+            print(f"error: bad --fault-plan: {exc}", file=sys.stderr)
+            return 2
     if args.artefact == "all":
         names = [n for n in _COMMANDS if n not in _ALL_EXCLUDES]
     else:

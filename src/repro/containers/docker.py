@@ -100,7 +100,7 @@ class DockerRuntime(ContainerRuntime):
             if image.digest not in os_.image_cache:
                 with self._step(env, steps, "pull", obs, track,
                                 nbytes=image.transfer_size):
-                    yield registry.pull(image.name)
+                    yield from registry.pull_retry(image.name)
                 with self._step(env, steps, "extract", obs, track,
                                 nbytes=image.content_size):
                     gunzip = env.timeout(image.content_size / GUNZIP_THROUGHPUT)

@@ -8,7 +8,7 @@ scaling versus Singularity's single file on the parallel filesystem.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
 
 from repro.containers.image import (
     FlatImage,
@@ -18,9 +18,12 @@ from repro.containers.image import (
 from repro.containers.builder import MKSQUASHFS_THROUGHPUT
 from repro.des.engine import Environment
 from repro.des.links import FairShareLink
+from repro.faults.errors import PullError
+from repro.faults.plan import FaultKind
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.des.events import Event
+    from repro.faults.injector import FaultInjector
 
 
 class RegistryError(RuntimeError):
@@ -51,6 +54,14 @@ class Registry:
             env, bandwidth=egress_bandwidth, latency=latency, name="registry"
         )
         self._images: dict[str, OCIImage | SIFImage] = {}
+        #: Optional :class:`~repro.faults.injector.FaultInjector`; set by
+        #: the injector's ``arm()``.  ``None`` (the default) keeps
+        #: :meth:`pull_retry` on the exact single-transfer path of
+        #: :meth:`pull`.
+        self.faults: Optional["FaultInjector"] = None
+        #: Optional mirror registry tried once per pull after the
+        #: primary's retries are exhausted.
+        self.fallback: Optional["Registry"] = None
 
     def push(self, image: OCIImage | SIFImage) -> None:
         """Make ``image`` available under its name."""
@@ -69,6 +80,55 @@ class Registry:
         """Transfer the image's compressed bytes; fires when complete."""
         image = self.get(name)
         return self.link.transfer(image.transfer_size)
+
+    def pull_retry(self, name: str):
+        """DES generator: pull ``name`` with retry/backoff under faults.
+
+        With no armed injector this yields exactly the one
+        ``link.transfer`` event :meth:`pull` would — same event, same
+        time — so the no-fault trace is unchanged.  Under an injector,
+        each attempt consumes the next pull fault (registry timeout,
+        aborted transfer, corrupt layer), pays the attempt's cost on the
+        simulated clock, backs off per the plan's tolerance, and retries
+        up to ``pull_max_retries`` times.  When the primary gives up and
+        a :attr:`fallback` registry is configured, the image is pulled
+        from the mirror instead; otherwise :class:`PullError` propagates
+        into the deployment.
+        """
+        image = self.get(name)
+        faults = self.faults
+        if faults is None:
+            yield self.link.transfer(image.transfer_size)
+            return
+        tol = faults.plan.tolerance
+        attempt = 0
+        while True:
+            attempt += 1
+            fault = faults.take_pull_fault()
+            if fault is None:
+                yield self.link.transfer(image.transfer_size)
+                return
+            if fault.kind is FaultKind.REGISTRY_TIMEOUT:
+                if fault.duration > 0:
+                    yield self.env.timeout(fault.duration)
+                reason = "registry timeout"
+            elif fault.kind is FaultKind.PULL_FAIL:
+                if fault.factor > 0:
+                    yield self.link.transfer(
+                        image.transfer_size * min(fault.factor, 1.0)
+                    )
+                reason = "transfer aborted"
+            else:  # CORRUPT_LAYER: full transfer, digest check fails
+                yield self.link.transfer(image.transfer_size)
+                reason = "layer digest mismatch"
+            faults.record_pull_failure(name, reason, attempt)
+            if attempt > tol.pull_max_retries:
+                if self.fallback is not None and name in self.fallback:
+                    faults.record_pull_fallback(name)
+                    yield from self.fallback.pull_retry(name)
+                    return
+                raise PullError(name, reason, attempt)
+            yield self.env.timeout(tol.pull_delay(attempt))
 
 
 class ShifterGateway:
@@ -113,7 +173,7 @@ class ShifterGateway:
         return self._cache[image.digest]
 
     def _convert(self, image: OCIImage):
-        yield self.registry.pull(image.name)
+        yield from self.registry.pull_retry(image.name)
         # Flatten: apply layers in order into one tree (upper layers win),
         # then mksquashfs the merged tree.
         merged = None

@@ -13,6 +13,7 @@ from repro.containers.compat import (
     check_runtime_installed,
 )
 from repro.containers.recipes import BuildTechnique
+from repro.faults.plan import FaultPlan
 from repro.hardware.cluster import ClusterSpec
 from repro.hardware.topology import SwitchTopology
 
@@ -74,6 +75,11 @@ class ExperimentSpec:
     #: statement that the workload's collectives are contention-free and
     #: entered in lockstep — the fast path raises otherwise.
     collective_fastpath: bool = False
+    #: Optional deterministic fault-injection plan
+    #: (:mod:`repro.faults`).  ``None`` — the default — runs on a
+    #: perfect machine, byte-identical to a build without the fault
+    #: subsystem.
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1 or self.ranks_per_node < 1 or self.threads_per_rank < 1:

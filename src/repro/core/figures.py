@@ -97,6 +97,16 @@ def ascii_plot(
     return header + "\n" + "\n".join(lines)
 
 
+def _elapsed_cell(result: object) -> object:
+    """Elapsed seconds, or a distinct marker for an annotated failed
+    point (keep-going executors put those in the grid instead of
+    results)."""
+    elapsed = getattr(result, "elapsed_seconds", None)
+    if elapsed is None:
+        return f"FAILED({getattr(result, 'error_type', '?')})"
+    return elapsed
+
+
 def fig1_table(outcome) -> str:
     """Fig. 1: rows = rank x thread configs, columns = execution modes."""
     headers = ["ranks x threads"] + list(outcome.runtimes)
@@ -104,7 +114,7 @@ def fig1_table(outcome) -> str:
     for config in outcome.configs:
         row = [f"{config[0]}x{config[1]}"]
         for rt in outcome.runtimes:
-            row.append(outcome.time_of(rt, config))
+            row.append(_elapsed_cell(outcome.results[(rt, config)]))
         rows.append(row)
     return ascii_table(headers, rows)
 
@@ -116,7 +126,7 @@ def fig2_table(fig2: Mapping[str, Mapping[int, object]]) -> str:
     headers = ["nodes"] + labels
     rows = []
     for n in nodes:
-        rows.append([n] + [fig2[label][n].elapsed_seconds for label in labels])
+        rows.append([n] + [_elapsed_cell(fig2[label][n]) for label in labels])
     return ascii_table(headers, rows)
 
 
@@ -131,6 +141,25 @@ def fig3_table(outcome) -> str:
         rows.append(
             [n] + [speedups[label][n] for label in labels] + [ideal[n]]
         )
+    return ascii_table(headers, rows)
+
+
+def fault_table(outcome) -> str:
+    """Fault sensitivity: rows = faults per run, per-variant elapsed
+    time and degradation (x the variant's fault-free baseline).  Failed
+    points render as ``FAILED(<error>)``, never as blanks."""
+    deg = outcome.degradation()
+    headers = ["faults/run"]
+    for label in outcome.labels:
+        headers += [f"{label} [s]", "degradation"]
+    rows = []
+    for rate in outcome.rates:
+        row: list[object] = [f"{rate:g}"]
+        for label in outcome.labels:
+            row.append(_elapsed_cell(outcome.results[(label, rate)]))
+            d = deg[label][rate]
+            row.append("-" if d is None else f"{d:.3f}x")
+        rows.append(row)
     return ascii_table(headers, rows)
 
 

@@ -53,6 +53,19 @@ class ExperimentResult:
     #: ``solver.<phase>`` — the values sum to ``elapsed_seconds`` (within
     #: float tolerance) whenever :attr:`phase_fractions` is populated.
     phases: dict[str, float] = field(default_factory=dict, compare=False)
+    #: Faults the run's :class:`~repro.faults.injector.FaultInjector`
+    #: recorded (0 without a plan).
+    faults_injected: int = 0
+    #: Times the job was requeued after a node crash.
+    requeues: int = 0
+    #: SHA-256 of the injected-fault timeline (empty without a plan) —
+    #: the cross-worker determinism witness.
+    fault_timeline_digest: str = ""
+    #: Simulated clock time at job completion (submission through the
+    #: last step, including deployment and launch) — the window a
+    #: :class:`~repro.faults.plan.FaultPlan` horizon must cover for its
+    #: clocked faults to land inside the run.
+    sim_span_seconds: float = 0.0
 
     @property
     def deployment_seconds(self) -> float:
@@ -92,6 +105,10 @@ class ExperimentResult:
             "internode_messages": self.internode_messages,
             "phase_fractions": dict(self.phase_fractions),
             "phases": dict(self.phases),
+            "faults_injected": self.faults_injected,
+            "requeues": self.requeues,
+            "fault_timeline_digest": self.fault_timeline_digest,
+            "sim_span_seconds": self.sim_span_seconds,
         }
 
     @classmethod
@@ -118,6 +135,10 @@ class ExperimentResult:
             internode_messages=payload["internode_messages"],
             phase_fractions=dict(payload["phase_fractions"]),
             phases=dict(payload["phases"]),
+            faults_injected=payload.get("faults_injected", 0),
+            requeues=payload.get("requeues", 0),
+            fault_timeline_digest=payload.get("fault_timeline_digest", ""),
+            sim_span_seconds=payload.get("sim_span_seconds", 0.0),
         )
 
 

@@ -104,6 +104,32 @@ def check_deployment(rows) -> dict[str, bool]:
     }
 
 
+def check_fault_sensitivity(outcome) -> dict[str, bool]:
+    """Expected: link faults slow everything, but the self-contained
+    image (TCP fallback path, comm-bound) degrades faster than the
+    system-specific one at every injected rate."""
+    deg = outcome.degradation()
+    rates = sorted(r for r in outcome.rates if r > 0)
+    top = rates[-1]
+    complete = not outcome.failed() and all(
+        deg[label][r] is not None
+        for label in outcome.labels
+        for r in rates
+    )
+    if not complete:
+        return {"all_points_completed": False}
+    ss = deg["singularity system-specific"]
+    sc = deg["singularity self-contained"]
+    return {
+        "all_points_completed": True,
+        "faults_slow_both_flavours": ss[top] > 1.0 and sc[top] > 1.0,
+        "self_contained_degrades_faster": all(
+            sc[r] > ss[r] for r in rates
+        ),
+        "degradation_grows_with_rate": sc[top] >= sc[rates[0]],
+    }
+
+
 def verdict_lines(verdicts: dict[str, bool]) -> str:
     """Render verdicts for reports."""
     return "\n".join(

@@ -10,6 +10,7 @@ from repro.core.deployment import build_image, make_distribution, make_runtime
 from repro.core.experiment import EndpointGranularity, ExperimentSpec
 from repro.core.metrics import ExperimentResult
 from repro.des.engine import Environment
+from repro.faults.injector import FaultInjector
 from repro.hardware.cluster import Cluster
 from repro.mpi.comm import SimComm
 from repro.mpi.launcher import MpiJob
@@ -74,6 +75,15 @@ class ExperimentRunner:
         cluster.wire_network(path, topology=spec.switch_topology)
         perf = MpiPerf.for_fabric(spec.cluster.fabric, path)
 
+        # Fault injection: armed only when the spec carries a plan, so
+        # the common path stays byte-identical (golden-trace guaranteed).
+        injector = None
+        if spec.fault_plan is not None and not spec.fault_plan.is_empty:
+            injector = FaultInjector(
+                env, spec.fault_plan, spec.n_nodes, obs=obs
+            )
+            injector.arm(cluster=cluster, registry=registry)
+
         # Batch allocation (exclusive nodes, as on the real machines).
         scheduler = SlurmScheduler(
             env,
@@ -136,13 +146,49 @@ class ExperimentRunner:
                 ranks_per_node=spec.ranks_per_node,
             )
             app = SimulatedAlya(
-                spec.workmodel, ctx, sim_steps=spec.sim_steps, obs=obs
+                spec.workmodel, ctx, sim_steps=spec.sim_steps, obs=obs,
+                faults=injector,
             )
-            job = MpiJob(comm, app.rank_body, containers=containers, obs=obs)
-            result = yield env.process(job.run())
-            scheduler.release(allocation)
+            job_comm = comm
+            requeues = 0
+            while True:
+                abort = (
+                    injector.next_abort_event()
+                    if injector is not None
+                    else None
+                )
+                job = MpiJob(
+                    job_comm, app.rank_body, containers=containers, obs=obs,
+                    abort_event=abort,
+                )
+                result = yield env.process(job.run())
+                if not result.failed:
+                    scheduler.release(allocation)
+                    break
+                # A node died mid-job: release the allocation as failed,
+                # back off, requeue (scontrol-style) and relaunch on a
+                # fresh communicator — the crashed attempt's in-flight
+                # transfers drain harmlessly on the old one.
+                scheduler.release(allocation, failed=True)
+                tolerance = injector.plan.tolerance
+                requeues += 1
+                if requeues > tolerance.max_requeues:
+                    raise result.failure
+                injector.record_requeue(spec.name, requeues)
+                yield env.timeout(tolerance.requeue_delay(requeues))
+                allocation = yield scheduler.requeue(job_req)
+                job_comm = SimComm(
+                    env, cluster, rankmap, perf,
+                    tracer=obs.records if obs is not None else None,
+                    collective_fastpath=spec.collective_fastpath,
+                )
             outcome["job"] = result
             outcome["deploy"] = deploy_report
+            outcome["requeues"] = requeues
+            outcome["comm"] = job_comm
+            # Clock at job completion — NOT env.now after run(): armed
+            # fault timers may keep the queue alive past the job.
+            outcome["sim_span"] = env.now
             outcome["launch_overhead"] = max(
                 (c.launch_overhead_per_rank for c in containers if c),
                 default=0.0,
@@ -192,7 +238,7 @@ class ExperimentRunner:
                 job_result.internode_messages
             )
             m.counter("mpi.messages_matched_fast").inc(
-                comm.messages_matched_fast
+                outcome.get("comm", comm).messages_matched_fast
             )
             m.counter("des.events_executed").inc(env.events_executed)
             m.gauge("deploy.total_seconds").set(deploy_report.total_seconds)
@@ -216,4 +262,10 @@ class ExperimentRunner:
             internode_messages=job_result.internode_messages,
             phase_fractions=phase_fractions,
             phases=phases,
+            faults_injected=injector.injected if injector else 0,
+            requeues=outcome.get("requeues", 0),
+            fault_timeline_digest=(
+                injector.timeline_digest() if injector else ""
+            ),
+            sim_span_seconds=outcome.get("sim_span", 0.0),
         )

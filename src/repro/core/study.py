@@ -1,4 +1,5 @@
-"""The paper's three evaluations (§B.1-§B.3), as runnable studies."""
+"""The paper's evaluations (§B.1-§B.3) as runnable studies, plus the
+fault-sensitivity extension built on :mod:`repro.faults`."""
 
 from __future__ import annotations
 
@@ -12,6 +13,7 @@ from repro.containers.builder import ImageBuilder
 from repro.core import calibration
 from repro.core.experiment import EndpointGranularity, ExperimentSpec
 from repro.core.metrics import ExperimentResult, speedup_series
+from repro.faults.plan import FaultPlan
 from repro.hardware import catalog
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -95,6 +97,7 @@ class ContainerSolutionsStudy:
         configs: tuple[tuple[int, int], ...] = FIG1_CONFIGS,
         sim_steps: int = 2,
         executor: "Optional[ExperimentExecutor]" = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         for ranks, threads in configs:
             if ranks % self.N_NODES:
@@ -109,6 +112,7 @@ class ContainerSolutionsStudy:
         self.configs = configs
         self.sim_steps = sim_steps
         self.executor = executor or _default_executor()
+        self.fault_plan = fault_plan
 
     def run(self, obs: "Optional[Observability]" = None) -> SolutionsOutcome:
         cluster = catalog.LENOX
@@ -127,6 +131,7 @@ class ContainerSolutionsStudy:
                 threads_per_rank=threads,
                 sim_steps=self.sim_steps,
                 granularity=EndpointGranularity.RANK,
+                fault_plan=self.fault_plan,
             )
             for rt, tech in self.RUNTIMES
             for ranks, threads in self.configs
@@ -171,11 +176,13 @@ class PortabilityStudy:
         nodes: tuple[int, ...] = FIG2_NODES,
         sim_steps: int = 2,
         executor: "Optional[ExperimentExecutor]" = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         self.workmodel = workmodel or calibration.ctepower_cfd_workmodel()
         self.nodes = nodes
         self.sim_steps = sim_steps
         self.executor = executor or _default_executor()
+        self.fault_plan = fault_plan
 
     def run_fig2(
         self, obs: "Optional[Observability]" = None
@@ -198,6 +205,7 @@ class PortabilityStudy:
                 threads_per_rank=1,
                 sim_steps=self.sim_steps,
                 granularity=EndpointGranularity.NODE,
+                fault_plan=self.fault_plan,
             )
             for label, rt, tech, n in grid
         ]
@@ -248,6 +256,7 @@ class PortabilityStudy:
                 threads_per_rank=1,
                 sim_steps=self.sim_steps,
                 granularity=EndpointGranularity.NODE,
+                fault_plan=self.fault_plan,
             )
             for name, cluster, label, tech in grid
         ]
@@ -280,8 +289,14 @@ class ScalabilityOutcome:
     base_nodes: int
 
     def speedups(self) -> dict[str, dict[int, float]]:
+        # Failed points (keep-going executors) are skipped: a speedup
+        # needs an elapsed time.
         return {
-            label: speedup_series(list(series.values()), self.base_nodes)
+            label: speedup_series(
+                [r for r in series.values()
+                 if isinstance(r, ExperimentResult)],
+                self.base_nodes,
+            )
             for label, series in self.results.items()
         }
 
@@ -313,11 +328,13 @@ class ScalabilityStudy:
         nodes: tuple[int, ...] = FIG3_NODES,
         sim_steps: int = 2,
         executor: "Optional[ExperimentExecutor]" = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         self.workmodel = workmodel or calibration.mn4_fsi_workmodel()
         self.nodes = nodes
         self.sim_steps = sim_steps
         self.executor = executor or _default_executor()
+        self.fault_plan = fault_plan
 
     def run(self, obs: "Optional[Observability]" = None) -> ScalabilityOutcome:
         cluster = catalog.MARENOSTRUM4
@@ -338,6 +355,7 @@ class ScalabilityStudy:
                 threads_per_rank=1,
                 sim_steps=self.sim_steps,
                 granularity=EndpointGranularity.NODE,
+                fault_plan=self.fault_plan,
             )
             for label, rt, tech, n in grid
         ]
@@ -346,3 +364,189 @@ class ScalabilityStudy:
         for (label, _, _, n), result in zip(grid, run_results):
             results.setdefault(label, {})[n] = result
         return ScalabilityOutcome(results=results, base_nodes=min(self.nodes))
+
+
+@dataclass
+class FaultSensitivityOutcome:
+    """Faults-per-run x image flavour grid, with relative degradation.
+
+    ``results`` values are :class:`~repro.core.metrics.ExperimentResult`
+    or — under a keep-going executor — annotated
+    :class:`~repro.exec.failures.FailedPoint` rows.
+    """
+
+    results: dict[tuple[str, float], object]
+    labels: tuple[str, ...]
+    rates: tuple[float, ...]
+    #: Simulated-time window [0, window) the faults were drawn over —
+    #: the length of the shortest fault-free baseline run.
+    window: float = 0.0
+
+    def elapsed(self, label: str, rate: float) -> Optional[float]:
+        r = self.results[(label, rate)]
+        return (
+            r.elapsed_seconds if isinstance(r, ExperimentResult) else None
+        )
+
+    def degradation(self) -> dict[str, dict[float, Optional[float]]]:
+        """Per variant: elapsed(rate) / elapsed(fault-free baseline)."""
+        base_rate = min(self.rates)
+        out: dict[str, dict[float, Optional[float]]] = {}
+        for label in self.labels:
+            base = self.elapsed(label, base_rate)
+            series: dict[float, Optional[float]] = {}
+            for rate in self.rates:
+                e = self.elapsed(label, rate)
+                series[rate] = (
+                    e / base if base and e is not None else None
+                )
+            out[label] = series
+        return out
+
+    def failed(self) -> list[tuple[str, float, object]]:
+        """(label, rate, FailedPoint) for points that produced no result."""
+        return [
+            (label, rate, r)
+            for (label, rate), r in self.results.items()
+            if not isinstance(r, ExperimentResult)
+        ]
+
+
+class FaultSensitivityStudy:
+    """How container flavours degrade as link faults intensify.
+
+    Sweeps the number of injected link-degrade faults per run against
+    the two Singularity image flavours on CTE-POWER.  The study runs in
+    two stages: the fault-free baselines execute first (with no plan at
+    all — the byte-identical golden path), then their measured duration
+    becomes the window the seeded fault times are drawn over, so every
+    injected fault actually lands *inside* the simulated run instead of
+    after it.  Every fault count compiles the *same* seeded timeline for
+    both flavours, so the comparison is apples-to-apples.
+
+    Expected shape: the self-contained image rides the TCP fallback
+    network path, spends several times more of its runtime communicating
+    (see :func:`~repro.containers.compat.network_path_for`), and therefore
+    loses disproportionately more time when NIC bandwidth degrades — the
+    fault-tolerance analogue of the paper's Fig. 2 gap.
+    """
+
+    VARIANTS: tuple[tuple[str, str, BuildTechnique], ...] = (
+        (
+            "singularity system-specific",
+            "singularity",
+            BuildTechnique.SYSTEM_SPECIFIC,
+        ),
+        (
+            "singularity self-contained",
+            "singularity",
+            BuildTechnique.SELF_CONTAINED,
+        ),
+    )
+
+    #: Link-degrade faults injected per run; 0 = fault-free baseline.
+    FAULTS_PER_RUN: tuple[float, ...] = (0.0, 2.0, 4.0, 8.0)
+
+    N_NODES = 4
+
+    def __init__(
+        self,
+        workmodel: Optional[AlyaWorkModel] = None,
+        rates: tuple[float, ...] = FAULTS_PER_RUN,
+        seed: int = 42,
+        sim_steps: int = 8,
+        executor: "Optional[ExperimentExecutor]" = None,
+        degrade_factor: float = 0.25,
+    ) -> None:
+        if not rates:
+            raise ValueError("the study needs at least one fault count")
+        if min(rates) != 0.0:
+            raise ValueError(
+                "rates must include 0.0 — degradation is measured "
+                "against the fault-free baseline"
+            )
+        self.workmodel = workmodel or calibration.ctepower_cfd_workmodel()
+        self.rates = tuple(sorted(set(float(r) for r in rates)))
+        self.seed = seed
+        self.sim_steps = sim_steps
+        self.executor = executor or _default_executor()
+        self.degrade_factor = degrade_factor
+
+    def plan_for(self, count: float, window: float) -> Optional[FaultPlan]:
+        """The plan injecting ``count`` faults over ``[0, window)``
+        (None at count 0 — the golden path)."""
+        if count == 0.0:
+            return None
+        return FaultPlan(
+            seed=self.seed,
+            link_degrade_rate=count / window,
+            horizon=window,
+            degrade_factor=self.degrade_factor,
+            # Each episode degrades a NIC for a tenth of the run.
+            fault_duration=window / 10.0,
+        )
+
+    def _spec(self, label, rt, tech, rate, plan) -> ExperimentSpec:
+        cluster = catalog.CTE_POWER
+        return ExperimentSpec(
+            name=f"faults-{label}-n{rate:g}",
+            cluster=cluster,
+            runtime_name=rt,
+            technique=tech,
+            workmodel=self.workmodel,
+            n_nodes=self.N_NODES,
+            ranks_per_node=cluster.node.cores,
+            threads_per_rank=1,
+            sim_steps=self.sim_steps,
+            granularity=EndpointGranularity.NODE,
+            fault_plan=plan,
+        )
+
+    def run(
+        self, obs: "Optional[Observability]" = None
+    ) -> FaultSensitivityOutcome:
+        # Stage 1: fault-free baselines — they both anchor the
+        # degradation ratios and measure the fault window.
+        base_specs = [
+            self._spec(label, rt, tech, 0.0, None)
+            for label, rt, tech in self.VARIANTS
+        ]
+        base_results = self.executor.run_many(base_specs, obs=obs)
+        windows = [
+            r.sim_span_seconds
+            for r in base_results
+            if isinstance(r, ExperimentResult) and r.sim_span_seconds > 0
+        ]
+        if not windows:
+            raise RuntimeError(
+                "fault sensitivity study: every fault-free baseline "
+                "failed; cannot derive the fault window"
+            )
+        # The shortest baseline, so the seeded fault times land inside
+        # every variant's run.
+        window = min(windows)
+
+        # Stage 2: the faulted grid.
+        faulted = [r for r in self.rates if r > 0]
+        grid = [
+            (label, rt, tech, rate)
+            for label, rt, tech in self.VARIANTS
+            for rate in faulted
+        ]
+        specs = [
+            self._spec(label, rt, tech, rate, self.plan_for(rate, window))
+            for label, rt, tech, rate in grid
+        ]
+        run_results = self.executor.run_many(specs, obs=obs)
+        results: dict[tuple[str, float], object] = {
+            (label, 0.0): r
+            for (label, _, _), r in zip(self.VARIANTS, base_results)
+        }
+        for (label, _, _, rate), r in zip(grid, run_results):
+            results[(label, rate)] = r
+        return FaultSensitivityOutcome(
+            results=results,
+            labels=tuple(label for label, _, _ in self.VARIANTS),
+            rates=self.rates,
+            window=window,
+        )

@@ -24,6 +24,8 @@ from repro.hardware.cluster import ClusterSpec
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.exec.executor import ExperimentExecutor
+    from repro.exec.failures import FailedPoint
+    from repro.faults.plan import FaultPlan
     from repro.obs.span import Observability
 
 
@@ -39,12 +41,19 @@ class SweepPoint:
 
 @dataclass
 class SweepResult:
-    """All results of one sweep, queryable and exportable."""
+    """All results of one sweep, queryable and exportable.
 
-    rows: list[tuple[SweepPoint, ExperimentResult]] = field(default_factory=list)
+    A row's second element is normally an
+    :class:`~repro.core.metrics.ExperimentResult`; under a ``keep_going``
+    executor it may instead be an annotated
+    :class:`~repro.exec.failures.FailedPoint` — the grid keeps its shape
+    and failures stay visible instead of becoming silent holes.
+    """
+
+    rows: list[tuple[SweepPoint, object]] = field(default_factory=list)
 
     def by_label(self, label: str) -> dict[int, ExperimentResult]:
-        """node count → result for one variant.
+        """node count → result for one variant (failed points skipped).
 
         Raises :class:`ValueError` when the sweep holds two rows for the
         same ``(label, n_nodes)`` — collapsing them last-write-wins would
@@ -52,7 +61,7 @@ class SweepResult:
         """
         out: dict[int, ExperimentResult] = {}
         for p, r in self.rows:
-            if p.label != label:
+            if p.label != label or not isinstance(r, ExperimentResult):
                 continue
             if p.n_nodes in out:
                 raise ValueError(
@@ -69,8 +78,27 @@ class SweepResult:
                 seen.append(p.label)
         return seen
 
+    def ok_rows(self) -> "list[tuple[SweepPoint, ExperimentResult]]":
+        """Rows that produced a result."""
+        return [
+            (p, r) for p, r in self.rows if isinstance(r, ExperimentResult)
+        ]
+
+    def failed_rows(self) -> "list[tuple[SweepPoint, FailedPoint]]":
+        """Rows that failed (empty without a keep-going executor)."""
+        return [
+            (p, r)
+            for p, r in self.rows
+            if not isinstance(r, ExperimentResult)
+        ]
+
     def to_csv(self) -> str:
-        """Flat CSV: one row per (variant, node count)."""
+        """Flat CSV: one row per (variant, node count).
+
+        Failed points export with ``status=failed`` and the error in the
+        ``error`` column (metric columns empty) — distinct rows, never
+        silent holes.
+        """
         buf = io.StringIO()
         writer = csv.writer(buf)
         writer.writerow(
@@ -90,16 +118,28 @@ class SweepResult:
                 "halo_fraction",
                 "collective_fraction",
                 "coupling_fraction",
+                "status",
+                "error",
             ]
         )
         for p, r in self.rows:
+            head = [
+                p.label,
+                p.runtime_name,
+                p.technique.value if p.technique else "",
+                p.n_nodes,
+            ]
+            if not isinstance(r, ExperimentResult):
+                writer.writerow(
+                    head
+                    + [""] * 11
+                    + ["failed", f"{r.error_type}: {r.error}"]
+                )
+                continue
             fr = r.phase_fractions
             writer.writerow(
-                [
-                    p.label,
-                    p.runtime_name,
-                    p.technique.value if p.technique else "",
-                    p.n_nodes,
+                head
+                + [
                     r.total_ranks,
                     f"{r.avg_step_seconds:.9f}",
                     f"{r.elapsed_seconds:.6f}",
@@ -111,6 +151,8 @@ class SweepResult:
                     f"{fr.get('halo', 0.0):.6f}",
                     f"{fr.get('collective', 0.0):.6f}",
                     f"{fr.get('coupling', 0.0):.6f}",
+                    "ok",
+                    "",
                 ]
             )
         return buf.getvalue()
@@ -148,6 +190,7 @@ class Sweep:
         sim_steps: int = 2,
         granularity: EndpointGranularity = EndpointGranularity.AUTO,
         executor: "Optional[ExperimentExecutor]" = None,
+        fault_plan: "Optional[FaultPlan]" = None,
     ) -> None:
         if not variants:
             raise ValueError("a sweep needs at least one variant")
@@ -163,6 +206,9 @@ class Sweep:
         self.threads_per_rank = threads_per_rank
         self.sim_steps = sim_steps
         self.granularity = granularity
+        #: Optional :class:`~repro.faults.plan.FaultPlan` applied to
+        #: every grid point (None = perfect machine).
+        self.fault_plan = fault_plan
         if executor is None:
             from repro.exec.executor import ExperimentExecutor
 
@@ -187,6 +233,7 @@ class Sweep:
                     threads_per_rank=self.threads_per_rank,
                     sim_steps=self.sim_steps,
                     granularity=self.granularity,
+                    fault_plan=self.fault_plan,
                 )
                 out.append((point, spec))
         return out

@@ -130,6 +130,9 @@ class FairShareLink:
             raise ValueError("per_byte_overhead must be >= 1")
         self.env = env
         self.bandwidth = float(bandwidth)
+        #: Nominal capacity; :meth:`set_bandwidth_factor` scales
+        #: :attr:`bandwidth` relative to this (fault injection).
+        self.base_bandwidth = float(bandwidth)
         self.latency = float(latency)
         self.per_byte_overhead = float(per_byte_overhead)
         self.name = name or "link"
@@ -199,6 +202,24 @@ class FairShareLink:
         n = max(1, len(self._flows))
         return self.bandwidth / n
 
+    def set_bandwidth_factor(self, factor: float) -> None:
+        """Scale capacity to ``factor`` of nominal (fault injection).
+
+        ``factor == 0`` partitions the link: in-flight flows freeze (no
+        wake-up is scheduled while the rate is zero) and resume — with
+        their residual byte counts intact — when a later call restores a
+        positive factor.  Progress up to *now* is settled first, so the
+        change is exact under piecewise-constant sharing.
+        """
+        if factor < 0:
+            raise ValueError(f"bandwidth factor must be >= 0, got {factor}")
+        new_bw = self.base_bandwidth * factor
+        if new_bw == self.bandwidth:
+            return
+        self._advance()
+        self.bandwidth = new_bw
+        self._reschedule()
+
     # -- internals ------------------------------------------------------------
     def _admit(self, wire_bytes: float, notify) -> None:
         # _advance() inlined: admits outnumber every other link operation.
@@ -245,6 +266,11 @@ class FairShareLink:
         if not self._flows:
             return
         rate = self.bandwidth / len(self._flows)
+        if rate <= 0:
+            # Partitioned link: flows freeze where they are.  The gen
+            # bump above already invalidated any in-flight wake; the
+            # next set_bandwidth_factor() or _admit() reschedules.
+            return
         if _LEGACY_WAKES:
             # Seed-faithful baseline: rescan for the minimum (the cache
             # holds the same value bit for bit) and allocate the wake.

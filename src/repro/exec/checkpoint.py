@@ -1,0 +1,100 @@
+"""Per-point sweep checkpoints for crash-resumable grids.
+
+A :class:`SweepCheckpoint` is a directory of one JSON file per grid
+point, keyed by the point's :func:`~repro.exec.speckey.spec_key` and
+written the moment the point's outcome is collected.  Unlike the result
+cache it also persists *failed* points, so a resumed run replays the
+exact outcome of everything that already happened — success or failure —
+and executes only what is missing.
+
+Because results serialise losslessly (see
+:meth:`~repro.core.metrics.ExperimentResult.to_json_dict`) and replay
+happens in grid order, a sweep killed mid-run and resumed produces a
+final CSV byte-identical to an uninterrupted run.
+
+Checkpoint writes are best-effort: an unwritable directory degrades to
+"no checkpointing" with a warning, never a crashed sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.core.metrics import ExperimentResult
+from repro.exec.failures import FailedPoint
+
+#: On-disk schema version for checkpoint entries.
+CHECKPOINT_FORMAT = 1
+
+
+class SweepCheckpoint:
+    """Append-only per-point outcome store under one directory."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"point-{key}.json"
+
+    def load(self, key: str) -> Optional[Union[ExperimentResult, FailedPoint]]:
+        """Replay the outcome for ``key``, or None if not checkpointed.
+
+        Corrupt or incompatible entries read as "not checkpointed" — the
+        point is simply re-run.
+        """
+        try:
+            payload = json.loads(self.path_for(key).read_text())
+        except (OSError, ValueError):
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format") != CHECKPOINT_FORMAT
+        ):
+            return None
+        try:
+            if payload.get("status") == "failed":
+                return FailedPoint.from_json_dict(payload["failure"])
+            return ExperimentResult.from_json_dict(payload["result"])
+        except (KeyError, TypeError):
+            return None
+
+    def store(
+        self,
+        key: str,
+        outcome: Union[ExperimentResult, FailedPoint],
+        spec_name: str,
+    ) -> None:
+        """Persist one point's outcome (atomic replace, best-effort)."""
+        payload: dict = {
+            "format": CHECKPOINT_FORMAT,
+            "key": key,
+            "spec_name": spec_name,
+        }
+        if isinstance(outcome, FailedPoint):
+            payload["status"] = "failed"
+            payload["failure"] = outcome.to_json_dict()
+        else:
+            payload["status"] = "ok"
+            payload["result"] = outcome.to_json_dict()
+        path = self.path_for(key)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_text(json.dumps(payload, sort_keys=True, indent=1) + "\n")
+            tmp.replace(path)
+        except (OSError, PermissionError) as exc:
+            warnings.warn(
+                f"checkpoint write failed for {path}: {exc}; continuing "
+                f"without checkpointing this point",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("point-*.json"))

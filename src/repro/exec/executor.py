@@ -20,9 +20,10 @@ Determinism contract
   order, not the completion order, defines the digest.  The serial path
   does exactly the same per-point bookkeeping, so ``workers=1`` and
   ``workers=N`` produce identical digests.
-- Executor markers (``exec.submit`` / ``exec.cache_hit``) are
-  zero-duration spans at t=0 carrying only deterministic attributes
-  (grid index, spec name, key) — never wall-clock times or worker ids.
+- Executor markers (``exec.submit`` / ``exec.cache_hit`` /
+  ``exec.failed``) are zero-duration spans at t=0 carrying only
+  deterministic attributes (grid index, spec name, key) — never
+  wall-clock times or worker ids.
 
 Caching
 -------
@@ -32,14 +33,37 @@ simulation entirely (their results are replayed from JSON), misses are
 executed and written back.  A warm rerun of an unchanged grid therefore
 executes zero simulations while producing the same results.  Cached
 points contribute only their ``exec.cache_hit`` marker to a trace —
-full span trees exist only for executed points.
+full span trees exist only for executed points.  Cache *writes* are
+best-effort: an unwritable cache directory degrades to a warning and a
+miss, never a crashed sweep.
+
+Self-robustness
+---------------
+The executor survives its own failures (see ``docs/faults.md``):
+
+- A crashed worker (``BrokenProcessPool``) or a point exceeding the
+  per-spec ``timeout`` does not abort the grid — the pool is re-spawned
+  and the unfinished points retried with exponential backoff, up to
+  ``max_retries`` times (``exec.retries`` counter).
+- A point whose *simulation* raises deterministically (e.g.
+  :class:`~repro.faults.errors.RankFailure` after exhausted requeues)
+  is not retried: with ``keep_going`` it comes back as an annotated
+  :class:`~repro.exec.failures.FailedPoint`; without, it raises in grid
+  order (fail-fast).
+- With ``checkpoint_dir`` set, each point's outcome is persisted the
+  moment it is collected; a killed sweep resumes from the checkpoint to
+  a byte-identical final CSV (see :mod:`repro.exec.checkpoint`).
 """
 
 from __future__ import annotations
 
 import os
+import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from concurrent.futures import TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Optional, Sequence, Union
 
@@ -47,10 +71,14 @@ from repro.core.experiment import ExperimentSpec
 from repro.core.metrics import ExperimentResult
 from repro.core.runner import ExperimentRunner
 from repro.exec.cache import ResultCache
+from repro.exec.checkpoint import SweepCheckpoint
+from repro.exec.failures import FailedPoint
 from repro.exec.speckey import spec_key
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs.span import Observability
+
+PointOutcome = Union[ExperimentResult, FailedPoint]
 
 
 def _execute_spec(
@@ -84,6 +112,14 @@ class ExecStats:
     misses: int = 0
     #: grid points executed through the process pool (vs. inline).
     parallel_executed: int = 0
+    #: infrastructure retries (crashed worker / timed-out point re-runs).
+    retries: int = 0
+    #: points that ended as FailedPoint annotations.
+    failures: int = 0
+    #: points replayed from a sweep checkpoint instead of executed.
+    resumed: int = 0
+    #: cache writes that failed non-fatally (read-only cache dir...).
+    cache_write_errors: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -92,6 +128,10 @@ class ExecStats:
             "hits": self.hits,
             "misses": self.misses,
             "parallel_executed": self.parallel_executed,
+            "retries": self.retries,
+            "failures": self.failures,
+            "resumed": self.resumed,
+            "cache_write_errors": self.cache_write_errors,
         }
 
 
@@ -109,6 +149,23 @@ class ExperimentExecutor:
     cache_dir:
         Cache root (default ``.repro-cache/``); only used when ``cache``
         is on.
+    timeout:
+        Per-spec wall-clock budget in seconds (pooled execution only —
+        inline runs cannot be preempted).  A point still running when
+        its budget lapses is treated like a crashed worker: the pool is
+        torn down and the point retried.
+    max_retries:
+        Infrastructure-failure retries (crash/timeout) per round before
+        the affected points are declared failed.
+    retry_backoff:
+        Seconds before the first retry round; doubles per round.
+    keep_going:
+        When True, a point that ultimately fails (deterministic
+        simulation error, or retries exhausted) comes back as a
+        :class:`FailedPoint` instead of raising.
+    checkpoint_dir:
+        When set, per-point outcomes are persisted there as soon as they
+        are collected, and replayed on the next run (crash resume).
     """
 
     def __init__(
@@ -116,14 +173,32 @@ class ExperimentExecutor:
         workers: Optional[int] = None,
         cache: bool = False,
         cache_dir: Union[str, Path] = ".repro-cache",
+        timeout: Optional[float] = None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.5,
+        keep_going: bool = False,
+        checkpoint_dir: Optional[Union[str, Path]] = None,
     ) -> None:
         if workers is None:
             workers = os.cpu_count() or 1
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
+        if max_retries < 0 or retry_backoff < 0:
+            raise ValueError("max_retries and retry_backoff must be >= 0")
         self.workers = workers
         self.cache: Optional[ResultCache] = (
             ResultCache(cache_dir) if cache else None
+        )
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.keep_going = keep_going
+        self.checkpoint: Optional[SweepCheckpoint] = (
+            SweepCheckpoint(checkpoint_dir)
+            if checkpoint_dir is not None
+            else None
         )
         self.stats = ExecStats()
 
@@ -138,53 +213,104 @@ class ExperimentExecutor:
         self,
         specs: Sequence[ExperimentSpec],
         obs: "Optional[Observability]" = None,
-    ) -> list[ExperimentResult]:
-        """Run every spec; results come back in ``specs`` order.
+    ) -> list[PointOutcome]:
+        """Run every spec; outcomes come back in ``specs`` order.
 
-        ``obs``, when given, receives one ``exec.submit`` or
-        ``exec.cache_hit`` marker per point plus the merged per-point
-        traces, all in submission order.
+        ``obs``, when given, receives one ``exec.submit`` /
+        ``exec.cache_hit`` / ``exec.failed`` marker per point plus the
+        merged per-point traces, all in submission order.
         """
         specs = list(specs)
         self.stats.submitted += len(specs)
         keys = [spec_key(s) for s in specs]
 
-        # Cache lookups first: only misses are executed.
-        results: list[Optional[ExperimentResult]] = [None] * len(specs)
+        results: list[Optional[PointOutcome]] = [None] * len(specs)
         cached = [False] * len(specs)
+
+        # Checkpoint replay first: a resumed sweep replays outcomes —
+        # including failures — exactly as first collected.
+        if self.checkpoint is not None:
+            for i in range(len(specs)):
+                replayed = self.checkpoint.load(keys[i])
+                if replayed is not None:
+                    results[i] = replayed
+                    cached[i] = True
+                    self.stats.resumed += 1
+
+        # Cache lookups for the rest: only misses are executed.
         if self.cache is not None:
             for i, spec in enumerate(specs):
+                if results[i] is not None:
+                    continue
                 hit = self.cache.get(spec)
                 if hit is not None:
                     results[i] = hit
                     cached[i] = True
-        miss_indices = [i for i in range(len(specs)) if not cached[i]]
-        self.stats.hits += len(specs) - len(miss_indices)
+                    self.stats.hits += 1
+        miss_indices = [i for i in range(len(specs)) if results[i] is None]
         if self.cache is not None:
             self.stats.misses += len(miss_indices)
 
-        # Execute the misses — pooled when it pays, inline otherwise.
+        # Execute the misses — pooled when it pays, inline otherwise —
+        # retrying infrastructure failures with backoff.
         with_obs = obs is not None
         point_obs: dict[int, "Optional[Observability]"] = {}
-        n_workers = min(self.workers, len(miss_indices))
-        if n_workers > 1:
-            with ProcessPoolExecutor(max_workers=n_workers) as pool:
-                futures = [
-                    (i, pool.submit(_execute_spec, specs[i], with_obs))
-                    for i in miss_indices
-                ]
-                for i, future in futures:
-                    results[i], point_obs[i] = future.result()
-            self.stats.parallel_executed += len(miss_indices)
-        else:
-            for i in miss_indices:
-                results[i], point_obs[i] = _execute_spec(specs[i], with_obs)
-        self.stats.executed += len(miss_indices)
+        attempts = dict.fromkeys(miss_indices, 0)
+        pending = list(miss_indices)
+        rounds = 0
+        while pending:
+            for i in pending:
+                attempts[i] += 1
+            retry: list[int] = []
+            if min(self.workers, len(pending)) > 1:
+                retry = self._run_pooled(
+                    specs, keys, pending, with_obs, results, point_obs,
+                    attempts,
+                )
+                self.stats.parallel_executed += (
+                    len(pending) - len(retry)
+                )
+            else:
+                self._run_inline(
+                    specs, keys, pending, with_obs, results, point_obs,
+                    attempts,
+                )
+            self.stats.executed += len(pending) - len(retry)
+            pending = retry
+            if not pending:
+                break
+            rounds += 1
+            if rounds > self.max_retries:
+                for i in pending:
+                    self._fail_point(
+                        results, i, specs[i], keys[i],
+                        "WorkerFailure",
+                        "worker crashed or timed out on every attempt",
+                        attempts[i],
+                    )
+                break
+            self.stats.retries += len(pending)
+            if obs is not None:
+                obs.metrics.counter("exec.retries").inc(len(pending))
+            time.sleep(self.retry_backoff * (2.0 ** (rounds - 1)))
 
         # Write-back and deterministic obs reassembly, in grid order.
         for i, spec in enumerate(specs):
-            if self.cache is not None and not cached[i]:
-                self.cache.put(spec, results[i])
+            outcome = results[i]
+            if isinstance(outcome, FailedPoint):
+                self._checkpoint_point(keys[i], outcome, spec.name)
+                if obs is not None:
+                    obs.add_span(
+                        "exec.failed", "exec", 0.0, 0.0, track="exec",
+                        index=i, spec=spec.name, key=keys[i],
+                        error=outcome.error_type,
+                    )
+                    obs.metrics.counter("exec.faileds").inc()
+                continue
+            if not cached[i]:
+                self._checkpoint_point(keys[i], outcome, spec.name)
+                if self.cache is not None:
+                    self._cache_put(spec, outcome)
             if obs is not None:
                 marker = "exec.cache_hit" if cached[i] else "exec.submit"
                 obs.add_span(
@@ -196,3 +322,115 @@ class ExperimentExecutor:
                 if po is not None:
                     obs.merge(po)
         return results  # type: ignore[return-value]
+
+    # -- execution rounds ---------------------------------------------------
+    def _run_pooled(
+        self, specs, keys, pending, with_obs, results, point_obs, attempts
+    ) -> list[int]:
+        """One pool round; returns the indices needing a retry."""
+        retry: list[int] = []
+        n_workers = min(self.workers, len(pending))
+        pool = ProcessPoolExecutor(max_workers=n_workers)
+        killed = False
+        try:
+            futures = [
+                (i, pool.submit(_execute_spec, specs[i], with_obs))
+                for i in pending
+            ]
+            for i, future in futures:
+                try:
+                    results[i], point_obs[i] = future.result(
+                        timeout=self.timeout
+                    )
+                    self._checkpoint_point(
+                        keys[i], results[i], specs[i].name
+                    )
+                except FutureTimeout:
+                    # The worker is wedged on this spec: kill the pool
+                    # (remaining futures fail over to the retry list).
+                    retry.append(i)
+                    self._kill_pool(pool)
+                    killed = True
+                except BrokenProcessPool:
+                    retry.append(i)
+                except Exception as exc:
+                    # Deterministic simulation failure — not retried.
+                    self._fail_point(
+                        results, i, specs[i], keys[i],
+                        type(exc).__name__, str(exc), attempts[i],
+                    )
+        finally:
+            pool.shutdown(wait=not killed, cancel_futures=True)
+        return retry
+
+    def _run_inline(
+        self, specs, keys, pending, with_obs, results, point_obs, attempts
+    ) -> None:
+        """Inline round (workers=1): no pool, no preemption."""
+        for i in pending:
+            try:
+                results[i], point_obs[i] = _execute_spec(
+                    specs[i], with_obs
+                )
+                self._checkpoint_point(keys[i], results[i], specs[i].name)
+            except Exception as exc:
+                self._fail_point(
+                    results, i, specs[i], keys[i],
+                    type(exc).__name__, str(exc), attempts[i],
+                )
+
+    @staticmethod
+    def _kill_pool(pool: ProcessPoolExecutor) -> None:
+        """Terminate a pool whose worker is stuck mid-spec."""
+        for proc in list(getattr(pool, "_processes", {}).values()):
+            try:
+                proc.terminate()
+            except (OSError, AttributeError):  # pragma: no cover
+                pass
+
+    # -- outcome plumbing ---------------------------------------------------
+    def _fail_point(
+        self, results, i, spec, key, error_type, error, attempts
+    ) -> None:
+        failed = FailedPoint(
+            spec_name=spec.name,
+            key=key,
+            error_type=error_type,
+            error=error,
+            attempts=attempts,
+        )
+        self.stats.failures += 1
+        if not self.keep_going:
+            raise ExecutionError(failed) from None
+        results[i] = failed
+
+    def _checkpoint_point(
+        self, key: str, outcome: Optional[PointOutcome], spec_name: str
+    ) -> None:
+        if self.checkpoint is not None and outcome is not None:
+            self.checkpoint.store(key, outcome, spec_name)
+
+    def _cache_put(self, spec: ExperimentSpec, result) -> None:
+        """Write-back that treats an unwritable cache as a warning."""
+        try:
+            self.cache.put(spec, result)
+        except (OSError, PermissionError) as exc:
+            self.stats.cache_write_errors += 1
+            warnings.warn(
+                f"result-cache write failed for {spec.name!r}: {exc}; "
+                f"continuing without caching this point",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
+
+class ExecutionError(RuntimeError):
+    """A grid point failed and ``keep_going`` was off (fail-fast)."""
+
+    def __init__(self, point: FailedPoint) -> None:
+        super().__init__(
+            f"grid point {point.spec_name!r} failed after "
+            f"{point.attempts} attempt(s): "
+            f"{point.error_type}: {point.error}"
+        )
+        self.point = point

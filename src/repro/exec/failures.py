@@ -1,0 +1,51 @@
+"""Annotated failed grid points.
+
+A sweep run with ``keep_going`` never loses the grid: points whose
+simulation raised (a deterministic :class:`~repro.faults.errors.RankFailure`
+after exhausted requeues, a worker that kept crashing, a per-spec
+timeout) come back as :class:`FailedPoint` rows instead of aborting the
+run.  The annotation is JSON-round-trippable so checkpoints can replay a
+failure without re-running it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FailedPoint:
+    """What we know about a grid point that did not produce a result."""
+
+    spec_name: str
+    key: str
+    #: Exception class name (``RankFailure``, ``TimeoutError``,
+    #: ``BrokenProcessPool``...).
+    error_type: str
+    #: Stringified error message.
+    error: str
+    #: Execution attempts spent on the point (>= 1).
+    attempts: int = 1
+
+    @property
+    def failed(self) -> bool:
+        return True
+
+    def to_json_dict(self) -> dict:
+        return {
+            "spec_name": self.spec_name,
+            "key": self.key,
+            "error_type": self.error_type,
+            "error": self.error,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "FailedPoint":
+        return cls(
+            spec_name=payload["spec_name"],
+            key=payload["key"],
+            error_type=payload["error_type"],
+            error=payload["error"],
+            attempts=payload.get("attempts", 1),
+        )

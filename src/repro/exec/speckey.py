@@ -56,12 +56,16 @@ def _canon(obj: Any) -> Any:
 def canonical_spec_payload(spec: ExperimentSpec) -> dict:
     """The JSON-safe dict whose hash is :func:`spec_key`.
 
-    Covers every :class:`ExperimentSpec` field except ``name``.
+    Covers every :class:`ExperimentSpec` field except ``name``.  Optional
+    simulation extensions (``fault_plan``) are omitted entirely when
+    unset, so keys for plain specs are stable across releases that add
+    such fields — a PR 3 cache entry still hits today.
     """
     fields = {
         f.name: _canon(getattr(spec, f.name))
         for f in dataclasses.fields(spec)
         if f.name != "name"
+        and not (f.name == "fault_plan" and spec.fault_plan is None)
     }
     return {"key_version": KEY_VERSION, "spec": fields}
 

@@ -1,0 +1,28 @@
+"""Deterministic fault injection and tolerance (`repro.faults`).
+
+Faults are data (:class:`FaultPlan`), compiled per allocation into
+concrete :class:`FaultEvent`\\ s and armed against one run's simulation
+objects by a :class:`FaultInjector`.  With no plan configured nothing in
+this package runs — the no-fault path is byte-identical to a build
+without it (golden-trace guaranteed).
+"""
+
+from repro.faults.errors import FaultError, PullError, RankFailure
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    Tolerance,
+)
+
+__all__ = [
+    "FaultError",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "PullError",
+    "RankFailure",
+    "Tolerance",
+]

@@ -1,0 +1,241 @@
+"""Arming a :class:`~repro.faults.plan.FaultPlan` against a simulation.
+
+The :class:`FaultInjector` is the bridge between the pure-data plan and
+the live DES objects of one run: it compiles the plan for the run's
+allocation, schedules link degrade/partition windows as timer callbacks,
+hands node crashes to the MPI job as abort events, answers per-step CPU
+slowdown queries from the application model, and feeds pull faults to
+the registry one attempt at a time.
+
+Everything the injector does is recorded in :attr:`timeline` — an
+append-only list of plain dicts in simulated-time order — whose
+canonical-JSON SHA-256 (:meth:`timeline_digest`) is the determinism
+witness: two runs of the same plan on the same spec must produce the
+same digest, regardless of process, worker count, or host.
+
+A run with no plan never constructs an injector at all, so the fault
+subsystem costs the no-fault path nothing but a handful of ``is None``
+checks (benchmarked in ``benchmarks/bench_fault_overhead.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import deque
+from typing import TYPE_CHECKING, Optional
+
+from repro.des.events import Event
+from repro.faults.errors import RankFailure
+from repro.faults.plan import (
+    LINK_KINDS,
+    PULL_KINDS,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.containers.registry import Registry
+    from repro.des.engine import Environment
+    from repro.des.links import FairShareLink
+    from repro.hardware.cluster import Cluster
+
+
+class FaultInjector:
+    """One plan, compiled and armed against one run's machinery.
+
+    Parameters
+    ----------
+    env:
+        The run's environment (faults are scheduled on its clock).
+    plan:
+        What to inject.
+    n_nodes:
+        Allocation size — part of the compilation key, so the same plan
+        on different node counts targets nodes deterministically.
+    obs:
+        Optional :class:`~repro.obs.span.Observability`: every injection
+        increments the ``faults.injected`` counter and emits a
+        ``fault.<kind>`` record event.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        plan: FaultPlan,
+        n_nodes: int,
+        obs=None,
+    ) -> None:
+        self.env = env
+        self.plan = plan
+        self.n_nodes = n_nodes
+        self.obs = obs
+        self.compiled: tuple[FaultEvent, ...] = plan.compile(n_nodes)
+        #: Injections that actually happened, in simulated-time order.
+        self.timeline: list[dict] = []
+        #: Count of injections (== ``len(timeline)``).
+        self.injected = 0
+        self._pull_queue = deque(
+            e for e in self.compiled if e.kind in PULL_KINDS
+        )
+        self._crashes = deque(
+            e for e in self.compiled if e.kind is FaultKind.NODE_CRASH
+        )
+        #: node -> [(start, end, factor)] straggler windows.
+        self._slow: dict[int, list[tuple[float, float, float]]] = {}
+        for e in self.compiled:
+            if e.kind is FaultKind.STRAGGLER:
+                self._slow.setdefault(e.node, []).append(
+                    (e.time, e.time + e.duration, e.factor)
+                )
+        #: id(link) -> (link, [active factors]) for stacked windows.
+        self._link_stacks: dict[int, tuple["FairShareLink", list[float]]] = {}
+        self._armed = False
+
+    # -- arming ---------------------------------------------------------------
+    def arm(
+        self,
+        cluster: Optional["Cluster"] = None,
+        registry: Optional["Registry"] = None,
+    ) -> None:
+        """Schedule the plan's clocked faults against live objects.
+
+        Link events with ``node >= 0`` hit that node's NIC (both
+        directions); ``node == -1`` hits the registry egress.  Stragglers
+        and crashes only schedule timeline markers here — their effect is
+        pulled by :meth:`cpu_factor` and :meth:`next_abort_event`.  Call
+        once, after the cluster's network is wired.
+        """
+        if self._armed:
+            raise RuntimeError("injector is already armed")
+        self._armed = True
+        if registry is not None:
+            registry.faults = self
+        for e in self.compiled:
+            if e.kind in LINK_KINDS:
+                links = self._resolve_links(e, cluster, registry)
+                if links:
+                    self._at(e.time, self._apply_link, links, e)
+                    self._at(e.time + e.duration, self._restore_link, links, e)
+            elif e.kind is FaultKind.STRAGGLER:
+                self._at(e.time, self._record, "straggler", e.node,
+                         factor=e.factor, duration=e.duration)
+            elif e.kind is FaultKind.NODE_CRASH:
+                self._at(e.time, self._record, "node-crash", e.node)
+
+    def _resolve_links(
+        self,
+        e: FaultEvent,
+        cluster: Optional["Cluster"],
+        registry: Optional["Registry"],
+    ) -> list["FairShareLink"]:
+        if e.node < 0:
+            return [registry.link] if registry is not None else []
+        if cluster is None or e.node >= len(cluster.nodes):
+            return []
+        node = cluster.nodes[e.node]
+        return [ln for ln in (node.nic_tx, node.nic_rx) if ln is not None]
+
+    def _at(self, when: float, fn, *args, **kwargs) -> None:
+        delay = max(0.0, when - self.env.now)
+        timer = self.env.timeout(delay)
+        timer.callbacks.append(lambda _ev: fn(*args, **kwargs))
+
+    # -- link windows ---------------------------------------------------------
+    def _apply_link(self, links, e: FaultEvent) -> None:
+        factor = 0.0 if e.kind is FaultKind.LINK_PARTITION else e.factor
+        for link in links:
+            _, stack = self._link_stacks.setdefault(id(link), (link, []))
+            stack.append(factor)
+            self._update_link(link)
+        self._record(
+            e.kind.value, e.node, factor=factor, duration=e.duration,
+            links=[ln.name for ln in links],
+        )
+
+    def _restore_link(self, links, e: FaultEvent) -> None:
+        factor = 0.0 if e.kind is FaultKind.LINK_PARTITION else e.factor
+        for link in links:
+            entry = self._link_stacks.get(id(link))
+            if entry is None:
+                continue
+            _, stack = entry
+            if factor in stack:
+                stack.remove(factor)
+            self._update_link(link)
+
+    def _update_link(self, link: "FairShareLink") -> None:
+        effective = 1.0
+        for f in self._link_stacks[id(link)][1]:
+            effective *= f
+        link.set_bandwidth_factor(effective)
+
+    # -- straggler queries ----------------------------------------------------
+    def cpu_factor(self, node: int, now: float) -> float:
+        """Compound slowdown of ``node`` at ``now`` (1.0 = nominal)."""
+        windows = self._slow.get(node)
+        if not windows:
+            return 1.0
+        factor = 1.0
+        for start, end, f in windows:
+            if start <= now < end:
+                factor *= f
+        return factor
+
+    # -- crash delivery -------------------------------------------------------
+    def next_abort_event(self) -> Optional[Event]:
+        """The abort signal for a job starting *now*.
+
+        Consumes the next not-yet-past crash and returns an event that
+        succeeds with a :class:`RankFailure` at ``crash_time +
+        detect_timeout`` (the plan's failure-detection delay).  Returns
+        ``None`` when no crash remains — the job runs to completion.
+        """
+        now = self.env.now
+        while self._crashes and self._crashes[0].time < now:
+            self._crashes.popleft()
+        if not self._crashes:
+            return None
+        e = self._crashes.popleft()
+        abort = Event(self.env)
+        failure = RankFailure(node=e.node, time=e.time)
+        self._at(
+            e.time + self.plan.tolerance.detect_timeout,
+            abort.succeed, failure,
+        )
+        return abort
+
+    # -- pull faults ----------------------------------------------------------
+    def take_pull_fault(self) -> Optional[FaultEvent]:
+        """Next pull-attempt fault, or ``None`` for a clean attempt."""
+        if self._pull_queue:
+            return self._pull_queue.popleft()
+        return None
+
+    def record_pull_failure(self, image: str, reason: str, attempt: int) -> None:
+        self._record("pull-failure", -1, image=image, reason=reason,
+                     attempt=attempt)
+
+    def record_pull_fallback(self, image: str) -> None:
+        self._record("pull-fallback", -1, image=image)
+
+    def record_requeue(self, job_name: str, attempt: int) -> None:
+        self._record("requeue", -1, job=job_name, attempt=attempt)
+
+    # -- timeline -------------------------------------------------------------
+    def _record(self, kind: str, node: int, **detail) -> None:
+        entry = {"time": self.env.now, "kind": kind, "node": node, **detail}
+        self.timeline.append(entry)
+        self.injected += 1
+        if self.obs is not None:
+            self.obs.metrics.counter("faults.injected").inc()
+            self.obs.event("fault", kind, node=node, **detail)
+
+    def timeline_digest(self) -> str:
+        """SHA-256 of the canonical-JSON timeline — the determinism
+        witness asserted by the chaos matrix tests."""
+        blob = json.dumps(
+            self.timeline, sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -5,11 +5,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
+from repro.des.engine import Interrupt
 from repro.mpi.comm import SimComm
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.containers.runtime import DeployedContainer
     from repro.des.engine import Environment, Process
+    from repro.des.events import Event
 
 
 def run_spmd(
@@ -22,13 +24,22 @@ def run_spmd(
     ``body`` must be a generator function (SPMD program).  Each rank pays
     ``launch_overhead`` before its first statement, as ``exec`` through a
     container runtime would impose.
+
+    A rank interrupted with a failure cause (a peer died — see
+    :class:`~repro.faults.errors.RankFailure`) terminates cleanly and
+    returns the cause as its result, so ``all_of(procs)`` still completes
+    and :class:`MpiJob` can report which ranks went down instead of the
+    whole simulation unwinding.
     """
     env = comm.env
 
     def wrap(rank: int):
-        if launch_overhead > 0:
-            yield env.timeout(launch_overhead)
-        result = yield from body(comm, rank)
+        try:
+            if launch_overhead > 0:
+                yield env.timeout(launch_overhead)
+            result = yield from body(comm, rank)
+        except Interrupt as intr:
+            return intr.cause
         return result
 
     return [
@@ -46,6 +57,13 @@ class JobResult:
     messages_sent: int = 0
     bytes_sent: float = 0.0
     internode_messages: int = 0
+    #: True when the job was aborted by a node failure.
+    failed: bool = False
+    #: Rank ids that were torn down by the abort (empty on success).
+    failed_ranks: list = field(default_factory=list)
+    #: The :class:`~repro.faults.errors.RankFailure` that aborted the
+    #: job, if any.
+    failure: object = None
 
 
 class MpiJob:
@@ -60,6 +78,15 @@ class MpiJob:
     containers:
         Per-node deployed containers (or ``None`` for an uncontained run);
         supplies the per-rank launch overhead.
+    abort_event:
+        Optional event (from
+        :meth:`repro.faults.injector.FaultInjector.next_abort_event`)
+        that fires with a :class:`~repro.faults.errors.RankFailure` when
+        a node dies.  On abort every still-running rank is interrupted
+        with the failure — the simulated MPI runtime's job teardown —
+        and the result comes back with ``failed=True`` for the caller's
+        requeue policy to act on.  ``None`` (the default) is the exact
+        pre-fault code path.
     """
 
     def __init__(
@@ -68,6 +95,7 @@ class MpiJob:
         body: Callable[[SimComm, int], object],
         containers: Optional[Sequence["DeployedContainer"]] = None,
         obs=None,
+        abort_event: Optional["Event"] = None,
     ) -> None:
         self.comm = comm
         self.body = body
@@ -75,6 +103,7 @@ class MpiJob:
         #: Optional :class:`repro.obs.span.Observability`: ``mpi.launch``
         #: and ``mpi.job`` spans on the ``driver`` track.
         self.obs = obs
+        self.abort_event = abort_event
 
     def _launch_overhead(self) -> float:
         if not self.containers:
@@ -92,17 +121,40 @@ class MpiJob:
         )
         overhead = self._launch_overhead()
         procs = run_spmd(self.comm, self.body, overhead)
-        yield env.all_of(procs)
+        done = env.all_of(procs)
+        failure = None
+        failed_ranks: list[int] = []
+        if self.abort_event is None:
+            yield done
+        else:
+            yield env.any_of([done, self.abort_event])
+            if not done.triggered:
+                failure = self.abort_event.value
+                for rank, proc in enumerate(procs):
+                    if not proc.triggered:
+                        failed_ranks.append(rank)
+                        proc.interrupt(failure)
+                # Teardown is synchronous (interrupted ranks return
+                # immediately), but drain the join event properly.
+                yield done
         if self.obs is not None:
             if overhead > 0:
                 self.obs.add_span("mpi.launch", "launch", t0, t0 + overhead,
                                   track="driver", ranks=self.comm.size)
-            self.obs.add_span("mpi.job", "job", t0, env.now,
-                              track="driver", ranks=self.comm.size)
+            if failure is None:
+                self.obs.add_span("mpi.job", "job", t0, env.now,
+                                  track="driver", ranks=self.comm.size)
+            else:
+                self.obs.add_span("mpi.job", "job", t0, env.now,
+                                  track="driver", ranks=self.comm.size,
+                                  failed=True)
         return JobResult(
             elapsed_seconds=env.now - t0,
             rank_results=[p.value for p in procs],
             messages_sent=self.comm.messages_sent - m0,
             bytes_sent=self.comm.bytes_sent - b0,
             internode_messages=self.comm.internode_messages - i0,
+            failed=failure is not None,
+            failed_ranks=failed_ranks,
+            failure=failure,
         )

@@ -106,6 +106,31 @@ class SlurmScheduler:
         self._states[job_id] = JobState.FAILED if failed else JobState.COMPLETED
         self._try_schedule()
 
+    def requeue(self, job: JobRequest):
+        """Put a FAILED (or CANCELLED) job back in the queue.
+
+        The ``scontrol requeue`` path: the job returns to PENDING at the
+        tail of the FIFO and competes for nodes again.  Returns a fresh
+        event firing with the new :class:`Allocation` — the old
+        allocation event has already fired and cannot be reused.
+        Requeue policy (how many times, with what backoff) lives with
+        the caller; see :class:`repro.faults.plan.Tolerance`.
+        """
+        state = self._states.get(job.job_id)
+        if state not in (JobState.FAILED, JobState.CANCELLED):
+            raise SchedulerError(
+                f"job {job.job_id} cannot be requeued from state {state}"
+            )
+        self._states[job.job_id] = JobState.PENDING
+        ev = self.env.event()
+        self._queue.append(job)
+        self._waiters[job.job_id] = ev
+        self._submitted_at[job.job_id] = self.env.now
+        if self.obs is not None:
+            self.obs.metrics.counter("scheduler.requeues").inc()
+        self._try_schedule()
+        return ev
+
     def cancel(self, job: JobRequest) -> None:
         """Remove a pending job from the queue."""
         if self._states.get(job.job_id) is not JobState.PENDING:

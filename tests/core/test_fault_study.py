@@ -1,0 +1,121 @@
+"""FaultSensitivityStudy: shape, verdicts, and failure rendering."""
+
+import pytest
+
+from repro.core.figures import fault_table
+from repro.core.report import check_fault_sensitivity, verdict_lines
+from repro.core.study import FaultSensitivityOutcome, FaultSensitivityStudy
+from repro.exec import ExperimentExecutor
+from repro.exec.failures import FailedPoint
+
+
+def small_study(**kwargs):
+    defaults = dict(
+        rates=(0.0, 8.0),
+        sim_steps=8,
+        executor=ExperimentExecutor(workers=2),
+    )
+    defaults.update(kwargs)
+    return FaultSensitivityStudy(**defaults)
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    return small_study().run()
+
+
+def test_rates_must_include_a_fault_free_baseline():
+    with pytest.raises(ValueError, match="fault-free baseline"):
+        FaultSensitivityStudy(rates=(2.0, 4.0))
+    with pytest.raises(ValueError, match="at least one"):
+        FaultSensitivityStudy(rates=())
+
+
+def test_window_comes_from_the_measured_baselines(outcome):
+    # The fault window is the simulated clock span of the shortest
+    # baseline — NOT the extrapolated elapsed time (which is ~3 orders
+    # of magnitude larger for the CTE-POWER CFD case).
+    assert 0 < outcome.window < 10.0
+    for label in outcome.labels:
+        assert outcome.elapsed(label, 0.0) > outcome.window
+
+
+def test_degradation_is_anchored_at_the_baseline(outcome):
+    deg = outcome.degradation()
+    for label in outcome.labels:
+        assert deg[label][0.0] == pytest.approx(1.0)
+        assert deg[label][8.0] > 1.0
+
+
+def test_self_contained_degrades_faster(outcome):
+    """The study's thesis: the TCP-fallback image is more comm-bound,
+    so the same link faults cost it proportionally more."""
+    deg = outcome.degradation()
+    assert (
+        deg["singularity self-contained"][8.0]
+        > deg["singularity system-specific"][8.0]
+    )
+
+
+def test_verdicts_all_pass(outcome):
+    verdicts = check_fault_sensitivity(outcome)
+    assert verdicts == {
+        "all_points_completed": True,
+        "faults_slow_both_flavours": True,
+        "self_contained_degrades_faster": True,
+        "degradation_grows_with_rate": True,
+    }
+    assert "[PASS]" in verdict_lines(verdicts)
+
+
+def test_fault_table_renders_every_point(outcome):
+    table = fault_table(outcome)
+    for label in outcome.labels:
+        assert f"{label} [s]" in table
+    assert "1.000x" in table
+    assert "FAILED" not in table
+
+
+def test_no_failed_points(outcome):
+    assert outcome.failed() == []
+
+
+def test_same_seed_same_faulted_timeline(outcome):
+    rerun = small_study().run()
+    for key, result in outcome.results.items():
+        other = rerun.results[key]
+        assert result.fault_timeline_digest == other.fault_timeline_digest
+        assert result.elapsed_seconds == other.elapsed_seconds
+
+
+# -- failure rendering (no simulation needed) ---------------------------------
+def synthetic_outcome():
+    from repro.core.metrics import ExperimentResult
+
+    ok = ExperimentResult(
+        spec_name="faults-x-n0", runtime_name="singularity",
+        cluster_name="CTE-POWER", n_nodes=4, total_ranks=640,
+        threads_per_rank=1, avg_step_seconds=0.01, elapsed_seconds=10.0,
+    )
+    fp = FailedPoint(
+        spec_name="faults-x-n4", key="k", error_type="RankFailure",
+        error="node 1 failed", attempts=3,
+    )
+    results = {
+        ("v", 0.0): ok,
+        ("v", 4.0): fp,
+    }
+    return FaultSensitivityOutcome(
+        results=results, labels=("v",), rates=(0.0, 4.0), window=0.5,
+    ), fp
+
+
+def test_failed_points_render_distinctly():
+    outcome, fp = synthetic_outcome()
+    assert outcome.elapsed("v", 4.0) is None
+    assert outcome.failed() == [("v", 4.0, fp)]
+    table = fault_table(outcome)
+    assert "FAILED(RankFailure)" in table
+    assert check_fault_sensitivity(outcome) == {
+        "all_points_completed": False,
+    }

@@ -70,8 +70,25 @@ def test_every_simulation_field_changes_the_key(override):
 def test_payload_covers_all_fields_but_name():
     spec = make_spec()
     payload = canonical_spec_payload(spec)["spec"]
-    expected = {f.name for f in dataclasses.fields(ExperimentSpec)} - {"name"}
+    # `fault_plan` is omitted while unset so pre-fault cache keys stay
+    # valid; every other simulation field must be covered.
+    expected = (
+        {f.name for f in dataclasses.fields(ExperimentSpec)}
+        - {"name", "fault_plan"}
+    )
     assert set(payload) == expected
+
+
+def test_fault_plan_changes_the_key_only_when_set():
+    from repro.faults import FaultPlan
+
+    plain = make_spec()
+    with_plan = dataclasses.replace(
+        plain, fault_plan=FaultPlan(seed=7, link_degrade_rate=0.1)
+    )
+    assert spec_key(plain) != spec_key(with_plan)
+    assert "fault_plan" in canonical_spec_payload(with_plan)["spec"]
+    assert "fault_plan" not in canonical_spec_payload(plain)["spec"]
 
 
 def test_payload_is_json_safe_and_order_independent():

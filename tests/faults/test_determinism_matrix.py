@@ -1,0 +1,86 @@
+"""Chaos determinism matrix: same seed, same timeline, any worker count.
+
+Seeded fault injection must be exactly as reproducible as the fault-free
+path: the compiled timeline, the injected-fault digest, and every
+derived artefact (the sweep CSV) must be bit-identical across worker
+counts and across consecutive runs.  These are the assertions the CI
+``chaos-smoke`` job runs.
+"""
+
+from repro.alya.workmodel import AlyaWorkModel, CaseKind
+from repro.containers.recipes import BuildTechnique
+from repro.core.metrics import ExperimentResult
+from repro.core.sweep import Sweep
+from repro.exec import ExperimentExecutor
+from repro.faults import FaultPlan
+from repro.hardware import catalog
+
+#: Measured simulated span of these Lenox runs is ~0.15 s; the plan's
+#: horizon sits inside it so the faults actually land mid-run.
+PLAN = FaultPlan(
+    seed=23,
+    link_degrade_rate=40.0,
+    horizon=0.15,
+    degrade_factor=0.25,
+    fault_duration=0.02,
+)
+
+VARIANTS = [
+    ("sing-self", "singularity", BuildTechnique.SELF_CONTAINED),
+    ("sing-sys", "singularity", BuildTechnique.SYSTEM_SPECIFIC),
+]
+
+
+def run_sweep(workers: int):
+    wm = AlyaWorkModel(
+        case=CaseKind.CFD, n_cells=200_000, cg_iters_per_step=3,
+        nominal_timesteps=10,
+    )
+    sweep = Sweep(
+        cluster=catalog.LENOX,
+        workmodel=wm,
+        variants=VARIANTS,
+        nodes=(1, 2),
+        ranks_per_node=7,
+        sim_steps=1,
+        executor=ExperimentExecutor(workers=workers),
+        fault_plan=PLAN,
+    )
+    return sweep.run()
+
+
+def test_seeded_chaos_is_bit_identical_across_worker_counts():
+    serial = run_sweep(workers=1)
+    parallel = run_sweep(workers=4)
+    rerun = run_sweep(workers=1)
+
+    csv_serial = serial.to_csv()
+    assert csv_serial == parallel.to_csv() == rerun.to_csv()
+
+    for (pa, ra), (pb, rb) in zip(serial.rows, parallel.rows):
+        assert pa == pb
+        assert isinstance(ra, ExperimentResult)
+        assert ra == rb
+        assert ra.fault_timeline_digest == rb.fault_timeline_digest != ""
+        assert ra.faults_injected == rb.faults_injected > 0
+
+
+def test_fault_plan_actually_perturbs_the_sweep():
+    faulted = run_sweep(workers=1)
+    clean = Sweep(
+        cluster=catalog.LENOX,
+        workmodel=AlyaWorkModel(
+            case=CaseKind.CFD, n_cells=200_000, cg_iters_per_step=3,
+            nominal_timesteps=10,
+        ),
+        variants=VARIANTS,
+        nodes=(1, 2),
+        ranks_per_node=7,
+        sim_steps=1,
+        executor=ExperimentExecutor(workers=1),
+    ).run()
+    # Multi-node points feel the degraded NICs; the CSVs must differ.
+    f2 = faulted.by_label("sing-self")[2]
+    c2 = clean.by_label("sing-self")[2]
+    assert f2.elapsed_seconds > c2.elapsed_seconds
+    assert c2.fault_timeline_digest == ""

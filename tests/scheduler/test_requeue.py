@@ -1,0 +1,161 @@
+"""Requeue and cancellation state transitions (scontrol-requeue model)."""
+
+import pytest
+
+from repro.des import Environment
+from repro.hardware import catalog
+from repro.scheduler import (
+    JobRequest,
+    JobState,
+    Partition,
+    SchedulerError,
+    SlurmScheduler,
+)
+
+
+def make_sched():
+    env = Environment()
+    return env, SlurmScheduler(env, Partition.whole_cluster(catalog.LENOX))
+
+
+def test_failed_job_requeues_to_pending_then_runs_again():
+    env, sched = make_sched()
+    job = JobRequest(name="crashy", nodes=2, ntasks=2)
+    states = []
+
+    def driver():
+        alloc = yield sched.submit(job)
+        yield env.timeout(1.0)
+        sched.release(alloc, failed=True)
+        states.append(sched.state_of(job))  # FAILED
+        alloc2 = yield sched.requeue(job)
+        states.append(sched.state_of(job))  # RUNNING again
+        assert alloc2.node_ids == alloc.node_ids
+        yield env.timeout(1.0)
+        sched.release(alloc2)
+
+    env.process(driver())
+    env.run()
+    assert states == [JobState.FAILED, JobState.RUNNING]
+    assert sched.state_of(job) is JobState.COMPLETED
+    assert sched.free_nodes == 4
+
+
+def test_requeued_job_joins_the_fifo_tail():
+    """A requeued job does not jump ahead of jobs queued meanwhile."""
+    env, sched = make_sched()
+    crashy = JobRequest(name="crashy", nodes=4, ntasks=4)
+    waiting = JobRequest(name="waiting", nodes=4, ntasks=4)
+    starts = []
+
+    def other():
+        alloc = yield sched.submit(waiting)
+        starts.append(("waiting", env.now))
+        yield env.timeout(1.0)
+        sched.release(alloc)
+
+    def driver():
+        alloc = yield sched.submit(crashy)
+        starts.append(("crashy", env.now))
+        yield env.timeout(1.0)
+        env.process(other())
+        yield env.timeout(0.5)
+        sched.release(alloc, failed=True)
+        alloc2 = yield sched.requeue(crashy)
+        starts.append(("crashy-retry", env.now))
+        yield env.timeout(1.0)
+        sched.release(alloc2)
+
+    env.process(driver())
+    env.run()
+    assert [name for name, _ in starts] == [
+        "crashy", "waiting", "crashy-retry",
+    ]
+
+
+def test_requeue_requires_failed_or_cancelled():
+    env, sched = make_sched()
+    job = JobRequest(name="ok", nodes=1, ntasks=1)
+
+    def driver():
+        alloc = yield sched.submit(job)
+        with pytest.raises(SchedulerError, match="requeued"):
+            sched.requeue(job)  # still RUNNING
+        sched.release(alloc)
+        with pytest.raises(SchedulerError, match="requeued"):
+            sched.requeue(job)  # COMPLETED
+        yield env.timeout(0)
+
+    env.process(driver())
+    env.run()
+
+
+def test_requeue_unknown_job_rejected():
+    env, sched = make_sched()
+    with pytest.raises(SchedulerError, match="requeued"):
+        sched.requeue(JobRequest(name="ghost", nodes=1, ntasks=1))
+
+
+def test_cancel_while_queued_then_requeue():
+    """A job cancelled in the queue can come back via requeue."""
+    env, sched = make_sched()
+    holder = JobRequest(name="hold", nodes=4, ntasks=4)
+    queued = JobRequest(name="queued", nodes=2, ntasks=2)
+    ran = []
+
+    def driver():
+        alloc = yield sched.submit(holder)
+        sched.submit(queued)
+        assert sched.state_of(queued) is JobState.PENDING
+        sched.cancel(queued)
+        assert sched.state_of(queued) is JobState.CANCELLED
+        assert sched.queue_length == 0
+        ev = sched.requeue(queued)
+        assert sched.state_of(queued) is JobState.PENDING
+        yield env.timeout(1.0)
+        sched.release(alloc)
+        alloc2 = yield ev
+        ran.append(env.now)
+        yield env.timeout(0.5)
+        sched.release(alloc2)
+
+    env.process(driver())
+    env.run()
+    assert ran == [1.0]
+    assert sched.state_of(queued) is JobState.COMPLETED
+
+
+def test_cancel_requires_pending():
+    env, sched = make_sched()
+    job = JobRequest(name="x", nodes=1, ntasks=1)
+
+    def driver():
+        alloc = yield sched.submit(job)
+        with pytest.raises(SchedulerError, match="pending"):
+            sched.cancel(job)  # RUNNING, not PENDING
+        sched.release(alloc)
+
+    env.process(driver())
+    env.run()
+
+
+def test_requeue_counter_reaches_obs():
+    from repro.obs import Observability
+
+    env = Environment()
+    obs = Observability()
+    obs.bind(env)
+    sched = SlurmScheduler(
+        env, Partition.whole_cluster(catalog.LENOX), obs=obs
+    )
+    job = JobRequest(name="crashy", nodes=1, ntasks=1)
+
+    def driver():
+        alloc = yield sched.submit(job)
+        sched.release(alloc, failed=True)
+        alloc2 = yield sched.requeue(job)
+        sched.release(alloc2)
+
+    env.process(driver())
+    env.run()
+    assert obs.metrics.counter("scheduler.requeues").value == 1

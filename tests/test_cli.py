@@ -7,10 +7,11 @@ from repro.cli import build_parser, main
 
 def test_parser_accepts_artefacts():
     parser = build_parser()
-    for name in ("fig1", "fig2", "fig3", "eval1", "eval2", "all"):
+    for name in ("fig1", "fig2", "fig3", "eval1", "eval2", "faults", "all"):
         args = parser.parse_args([name])
         assert args.artefact == name
-        assert args.sim_steps == 2
+        # None = per-command default (2, or 8 for the faults study).
+        assert args.sim_steps is None
 
 
 def test_parser_rejects_unknown():
@@ -74,8 +75,60 @@ def test_trace_nodes_validation(capsys):
     assert main(["trace", "--nodes", "0"]) == 2
 
 
-def test_all_excludes_trace():
+def test_all_excludes_trace_and_faults():
     from repro.cli import _ALL_EXCLUDES, _COMMANDS
 
     assert "trace" in _COMMANDS
     assert "trace" in _ALL_EXCLUDES
+    assert "faults" in _COMMANDS
+    assert "faults" in _ALL_EXCLUDES
+
+
+def test_timeout_validation(capsys):
+    assert main(["fig1", "--timeout", "0"]) == 2
+
+
+def test_faults_command_runs(capsys):
+    rc = main(["faults", "--workers", "4"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "Fault sensitivity" in out
+    assert "fault window" in out
+    assert "[PASS] self_contained_degrades_faster" in out
+    assert "[FAIL]" not in out
+
+
+def test_fault_plan_flag_threads_into_a_study(capsys):
+    clean = main(["eval1", "--sim-steps", "1"])
+    clean_out = capsys.readouterr().out
+    # A plan whose horizon covers the whole simulated span degrades
+    # every containerised run; the deployment table changes.
+    rc = main([
+        "eval1", "--sim-steps", "1", "--fault-plan",
+        "seed=3,link_rate=100,horizon=0.2,factor=0.3,duration=0.05",
+    ])
+    faulted_out = capsys.readouterr().out
+    assert clean == rc == 0
+    assert faulted_out != clean_out
+
+
+def test_bad_fault_plan_spec_is_an_error(capsys):
+    rc = main(["eval1", "--sim-steps", "1", "--fault-plan", "bogus=1"])
+    assert rc == 2
+    assert "bad --fault-plan" in capsys.readouterr().err
+
+
+def test_keep_going_and_resume_reach_the_executor(tmp_path):
+    from repro.cli import _executor, build_parser
+
+    args = build_parser().parse_args([
+        "fig1", "--keep-going", "--resume", str(tmp_path / "ck"),
+        "--timeout", "30",
+    ])
+    ex = _executor(args)
+    assert ex.keep_going is True
+    assert ex.checkpoint is not None
+    assert ex.timeout == 30.0
+    fail_fast = build_parser().parse_args(["fig1", "--fail-fast"])
+    assert _executor(fail_fast).keep_going is False
+    assert _executor(fail_fast).checkpoint is None
