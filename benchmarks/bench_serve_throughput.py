@@ -1,0 +1,196 @@
+#!/usr/bin/env python
+"""Serving-layer throughput: single-flight + batching vs naive replay.
+
+Replays the same synthetic traffic mix two ways:
+
+- ``naive``: what existed before ``repro.serve`` — every request
+  re-drives the executor individually and sequentially (one
+  ``run_many([spec])`` per request, no dedupe, no batching, no cache),
+  exactly like N independent CLI invocations;
+- ``served``: the same requests fired concurrently at a
+  :class:`~repro.serve.service.StudyService`, which collapses identical
+  in-flight requests to one execution and micro-batches the rest.
+
+The traffic is a hot-spot mix (most requests hit a few popular specs —
+the shape a cached public endpoint sees), so the served arm should
+execute one simulation per *unique* spec while the naive arm executes
+one per *request*.  Both arms must return byte-identical result payloads
+per spec — the benchmark asserts that first, so the speedup can never
+hide a semantic regression.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve_throughput.py          # full
+    PYTHONPATH=src python benchmarks/bench_serve_throughput.py --quick  # CI
+    PYTHONPATH=src python benchmarks/bench_serve_throughput.py --quick --check
+
+``--check`` exits non-zero unless (a) the served arm executed exactly
+one simulation per unique spec, (b) responses matched the naive arm
+byte-for-byte, and (c) the served arm beat naive wall-clock by at least
+``--min-speedup`` (default 2.0 — the dedupe ratio alone is ~8x, so this
+floor only fails when serving overhead eats the win).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.exec import ExperimentExecutor  # noqa: E402
+from repro.serve import StudyService, build_spec  # noqa: E402
+
+
+def traffic_mix(quick: bool):
+    """(unique specs, request sequence) — a hot-spot distribution."""
+    if quick:
+        uniques = [
+            build_spec("fig1", runtime="docker", nodes=2),
+            build_spec("fig1", runtime="singularity", nodes=2),
+            build_spec("fig1", runtime="docker", nodes=4),
+        ]
+        weights = [14, 6, 4]  # 24 requests over 3 specs
+    else:
+        uniques = [
+            build_spec("fig1", runtime="docker", nodes=2),
+            build_spec("fig1", runtime="singularity", nodes=2),
+            build_spec("fig1", runtime="docker", nodes=4),
+            build_spec("fig1", runtime="charliecloud", nodes=2),
+            build_spec("fig3", runtime="singularity", nodes=4),
+            build_spec("fig3", runtime="singularity", nodes=8),
+        ]
+        weights = [40, 20, 12, 8, 10, 6]  # 96 requests over 6 specs
+    requests = []
+    # Deterministic interleaving: round-robin drain of the weights, so
+    # popular specs recur throughout the replay instead of clustering.
+    remaining = list(weights)
+    while any(remaining):
+        for i, left in enumerate(remaining):
+            if left:
+                requests.append(uniques[i])
+                remaining[i] -= 1
+    return uniques, requests
+
+
+def run_naive(requests):
+    """One sequential, isolated executor drive per request."""
+    executor = ExperimentExecutor(workers=1)
+    t0 = time.perf_counter()
+    results = [executor.run_many([spec])[0] for spec in requests]
+    elapsed = time.perf_counter() - t0
+    return results, elapsed, executor.stats
+
+
+def run_served(requests, batch_window):
+    executor = ExperimentExecutor(workers=1, keep_going=True)
+    service = StudyService(
+        executor=executor,
+        max_pending=len(requests),
+        batch_window=batch_window,
+        max_batch=16,
+    )
+
+    async def replay():
+        async with service:
+            return await asyncio.gather(
+                *(service.submit(spec) for spec in requests)
+            )
+
+    t0 = time.perf_counter()
+    results = asyncio.run(replay())
+    elapsed = time.perf_counter() - t0
+    return results, elapsed, service
+
+
+def payloads_by_name(results):
+    out = {}
+    for r in results:
+        blob = json.dumps(r.to_json_dict(), sort_keys=True)
+        prev = out.setdefault(r.spec_name, blob)
+        assert prev == blob, f"non-identical responses for {r.spec_name}"
+    return out
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="CI-sized mix (24 requests over 3 specs)")
+    ap.add_argument("--check", action="store_true",
+                    help="exit non-zero on parity/dedupe/speedup failure")
+    ap.add_argument("--min-speedup", type=float, default=2.0,
+                    help="wall-clock floor served must beat (default 2.0)")
+    ap.add_argument("--batch-window", type=float, default=0.01)
+    ap.add_argument("--out", default=None, metavar="FILE",
+                    help="write the JSON report to FILE")
+    args = ap.parse_args(argv)
+
+    uniques, requests = traffic_mix(args.quick)
+    print(f"traffic: {len(requests)} requests over {len(uniques)} unique "
+          f"specs ({'quick' if args.quick else 'full'} mix)")
+
+    naive_results, naive_s, naive_stats = run_naive(requests)
+    served_results, served_s, service = run_served(
+        requests, args.batch_window
+    )
+
+    # Parity first: identical payload per spec across arms and requests.
+    naive_blobs = payloads_by_name(naive_results)
+    served_blobs = payloads_by_name(served_results)
+    parity = naive_blobs == served_blobs
+
+    speedup = naive_s / served_s if served_s > 0 else float("inf")
+    dedupe_exact = service.executor.stats.executed == len(uniques)
+    lat = service.stats.latency_summary()
+
+    report = {
+        "requests": len(requests),
+        "unique_specs": len(uniques),
+        "naive": {
+            "elapsed_s": naive_s,
+            "executed": naive_stats.executed,
+        },
+        "served": {
+            "elapsed_s": served_s,
+            "executed": service.executor.stats.executed,
+            "dedup_hits": service.stats.dedup_hits,
+            "batches": service.stats.batches,
+            "latency_p50_s": lat["p50"],
+            "latency_p95_s": lat["p95"],
+            "latency_p99_s": lat["p99"],
+        },
+        "speedup": speedup,
+        "parity": parity,
+    }
+    print(json.dumps(report, indent=2, sort_keys=True))
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    if args.check:
+        failures = []
+        if not parity:
+            failures.append("served responses differ from naive")
+        if not dedupe_exact:
+            failures.append(
+                f"expected {len(uniques)} executions, got "
+                f"{service.executor.stats.executed}"
+            )
+        if speedup < args.min_speedup:
+            failures.append(
+                f"speedup {speedup:.2f}x below floor {args.min_speedup}x"
+            )
+        for f in failures:
+            print(f"CHECK FAILED: {f}", file=sys.stderr)
+        return 1 if failures else 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

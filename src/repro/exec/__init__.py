@@ -23,14 +23,21 @@ relies on are documented in ``docs/parallel.md``.
 """
 
 from repro.exec.cache import CACHE_FORMAT, ResultCache
-from repro.exec.executor import ExecStats, ExperimentExecutor
-from repro.exec.speckey import canonical_spec_payload, spec_key
+from repro.exec.checkpoint import CHECKPOINT_FORMAT, SweepCheckpoint
+from repro.exec.executor import ExecStats, ExecutionError, ExperimentExecutor
+from repro.exec.failures import FailedPoint
+from repro.exec.speckey import KEY_VERSION, canonical_spec_payload, spec_key
 
 __all__ = [
     "CACHE_FORMAT",
+    "CHECKPOINT_FORMAT",
     "ExecStats",
+    "ExecutionError",
     "ExperimentExecutor",
+    "FailedPoint",
+    "KEY_VERSION",
     "ResultCache",
+    "SweepCheckpoint",
     "canonical_spec_payload",
     "spec_key",
 ]

@@ -24,6 +24,7 @@ from typing import Optional, Union
 
 from repro.core.experiment import ExperimentSpec
 from repro.core.metrics import ExperimentResult
+from repro.exec import tmpfiles
 from repro.exec.speckey import spec_key
 
 #: On-disk schema version; bump when the entry layout changes.
@@ -41,6 +42,7 @@ class ResultCache:
 
     def __init__(self, root: Union[str, Path] = ".repro-cache") -> None:
         self.root = Path(root)
+        self._swept = False
 
     def path_for(self, key: str) -> Path:
         return self.root / f"{key}.json"
@@ -63,17 +65,27 @@ class ResultCache:
             return None
         try:
             result = ExperimentResult.from_json_dict(payload["result"])
-        except (KeyError, TypeError):
+        except (KeyError, TypeError, ValueError, AttributeError):
+            # Tampered-but-valid JSON (missing field, wrong-typed field,
+            # string where a mapping belongs...) is corruption like any
+            # other: a miss, never a crashed study.
             return None
         if result.spec_name != spec.name:
             result = dataclasses.replace(result, spec_name=spec.name)
         return result
 
     def put(self, spec: ExperimentSpec, result: ExperimentResult) -> Path:
-        """Persist ``result`` under ``spec``'s key (atomic replace)."""
+        """Persist ``result`` under ``spec``'s key (atomic replace).
+
+        The first write of a cache instance also sweeps temp files
+        orphaned by crashed writers (see :mod:`repro.exec.tmpfiles`).
+        """
         key = spec_key(spec)
         path = self.path_for(key)
         self.root.mkdir(parents=True, exist_ok=True)
+        if not self._swept:
+            self._swept = True
+            tmpfiles.sweep_stale(self.root)
         payload = {
             "format": CACHE_FORMAT,
             "key": key,
@@ -93,10 +105,12 @@ class ResultCache:
         return sum(1 for _ in self.root.glob("*.json"))
 
     def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
+        """Delete every entry (and leftover temp file); returns the
+        number of files removed."""
         removed = 0
         if self.root.is_dir():
             for path in self.root.glob("*.json"):
                 path.unlink()
                 removed += 1
+            removed += tmpfiles.sweep_all(self.root)
         return removed

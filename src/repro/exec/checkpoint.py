@@ -25,6 +25,7 @@ from pathlib import Path
 from typing import Optional, Union
 
 from repro.core.metrics import ExperimentResult
+from repro.exec import tmpfiles
 from repro.exec.failures import FailedPoint
 
 #: On-disk schema version for checkpoint entries.
@@ -36,6 +37,7 @@ class SweepCheckpoint:
 
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
+        self._swept = False
 
     def path_for(self, key: str) -> Path:
         return self.root / f"point-{key}.json"
@@ -59,7 +61,10 @@ class SweepCheckpoint:
             if payload.get("status") == "failed":
                 return FailedPoint.from_json_dict(payload["failure"])
             return ExperimentResult.from_json_dict(payload["result"])
-        except (KeyError, TypeError):
+        except (KeyError, TypeError, ValueError, AttributeError):
+            # Same contract as the result cache: tampered-but-valid JSON
+            # (wrong-typed field, string where a mapping belongs...) is
+            # "not checkpointed", never a crashed resume.
             return None
 
     def store(
@@ -83,6 +88,9 @@ class SweepCheckpoint:
         path = self.path_for(key)
         try:
             self.root.mkdir(parents=True, exist_ok=True)
+            if not self._swept:
+                self._swept = True
+                tmpfiles.sweep_stale(self.root)
             tmp = path.with_suffix(f".tmp.{os.getpid()}")
             tmp.write_text(json.dumps(payload, sort_keys=True, indent=1) + "\n")
             tmp.replace(path)
@@ -98,3 +106,14 @@ class SweepCheckpoint:
         if not self.root.is_dir():
             return 0
         return sum(1 for _ in self.root.glob("point-*.json"))
+
+    def clear(self) -> int:
+        """Delete every outcome (and leftover temp file); returns the
+        number of files removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("point-*.json"):
+                path.unlink()
+                removed += 1
+            removed += tmpfiles.sweep_all(self.root)
+        return removed

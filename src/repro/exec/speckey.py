@@ -26,7 +26,25 @@ from repro.core.experiment import ExperimentSpec
 
 #: Bump to invalidate every existing cache entry (e.g. when the
 #: simulation model changes in a way the spec fields cannot express).
-KEY_VERSION = 1
+#: v2: sets canonicalise element-wise (recursively, with a type-tagged
+#: sort) instead of via ``str()`` — ``{1}`` and ``{"1"}`` used to
+#: collide to the same key.
+KEY_VERSION = 2
+
+
+def _set_sort_key(canon: Any) -> "tuple[str, str]":
+    """Deterministic, type-discriminating sort key for set elements.
+
+    Elements are already canonical (JSON-safe), so they serialise; the
+    leading class-name tag keeps mixed-type sets totally ordered without
+    ever comparing ``1`` to ``"1"`` (lexical ``str()`` sorting was the
+    old collision).  ``bool`` tags differently from ``int`` because the
+    class names differ.
+    """
+    return (
+        canon.__class__.__name__,
+        json.dumps(canon, sort_keys=True, separators=(",", ":")),
+    )
 
 
 def _canon(obj: Any) -> Any:
@@ -47,7 +65,10 @@ def _canon(obj: Any) -> Any:
     if isinstance(obj, (list, tuple)):
         return [_canon(v) for v in obj]
     if isinstance(obj, (set, frozenset)):
-        return sorted(str(v) for v in obj)
+        # Canonicalise each element recursively (so an int stays an int
+        # and never collides with its string rendering), then impose a
+        # type-tagged total order — iteration order must not leak in.
+        return sorted((_canon(v) for v in obj), key=_set_sort_key)
     raise TypeError(
         f"cannot canonicalise {type(obj).__name__} for a spec key"
     )

@@ -1,0 +1,43 @@
+"""Request serving for experiment studies: the system's front door.
+
+Where :mod:`repro.exec` distributes one caller's grid across processes,
+:mod:`repro.serve` multiplexes *many callers* onto one executor:
+
+- :mod:`repro.serve.service` — :class:`StudyService`, an asyncio
+  single-flight layer: concurrent identical requests (same
+  :func:`~repro.exec.speckey.spec_key`) collapse to one execution,
+  compatible requests micro-batch into shared
+  :meth:`~repro.exec.executor.ExperimentExecutor.run_many` submissions,
+  and admission control rejects (with a ``retry_after`` hint) instead of
+  queueing without bound.  :meth:`~StudyService.drain` completes all
+  admitted work while refusing new requests.
+- :mod:`repro.serve.requests` — the JSON request dialect the
+  ``repro-serve`` CLI and the throughput benchmark replay.
+- :mod:`repro.serve.cli` — the ``repro-serve`` entry point.
+
+Semantics, metric names and the backpressure contract are documented in
+``docs/serving.md``; the measured win over naive per-request execution
+lives in ``benchmarks/bench_serve_throughput.py``.
+"""
+
+from repro.serve.requests import RequestGroup, build_spec, parse_script
+from repro.serve.service import (
+    Overloaded,
+    RequestFailed,
+    ServeError,
+    ServeStats,
+    ServiceClosed,
+    StudyService,
+)
+
+__all__ = [
+    "Overloaded",
+    "RequestFailed",
+    "RequestGroup",
+    "ServeError",
+    "ServeStats",
+    "ServiceClosed",
+    "StudyService",
+    "build_spec",
+    "parse_script",
+]

@@ -1,0 +1,245 @@
+"""``repro-serve``: run the study service against a request replay.
+
+Starts an in-process :class:`~repro.serve.service.StudyService`, fires
+the requests described by a JSON replay script (or a synthetic
+``--burst`` of identical requests), drains cleanly, and prints the
+serving scoreboard: request/dedupe/reject counters, batch shapes,
+p50/p95/p99 latency, and the executor's execution/cache accounting.
+
+Examples
+--------
+::
+
+    repro-serve --script examples/serve_smoke.json
+    repro-serve --burst 64 --fig fig1 --nodes 2        # single-flight demo
+    repro-serve --burst 64 --expect-dedupe 63 --expect-max-executed 1
+    repro-serve --script replay.json --workers 4 --cache --json out.json
+
+The ``--expect-*`` flags turn the run into a check (exit 1 on
+violation) — CI's ``serve-smoke`` job uses them to prove that a burst
+of identical requests executes once and that the drain resolves every
+admitted request.  See ``docs/serving.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.core.figures import ascii_table
+from repro.exec import ExperimentExecutor
+from repro.serve.requests import RequestGroup, build_spec, parse_script
+from repro.serve.service import (
+    Overloaded,
+    RequestFailed,
+    ServiceClosed,
+    StudyService,
+)
+
+
+async def _replay(
+    service: StudyService, groups: "list[RequestGroup]"
+) -> dict:
+    """Fire every group's requests concurrently; tally the outcomes."""
+    tally = {"ok": 0, "rejected": 0, "failed": 0, "closed": 0}
+
+    async def one(spec):
+        try:
+            await service.submit(spec)
+            tally["ok"] += 1
+        except Overloaded:
+            tally["rejected"] += 1
+        except ServiceClosed:
+            tally["closed"] += 1
+        except RequestFailed:
+            tally["failed"] += 1
+
+    async with service:
+        tasks = []
+        for group in groups:
+            if group.delay_ms:
+                await asyncio.sleep(group.delay_ms / 1000.0)
+            tasks.extend(
+                asyncio.ensure_future(one(group.spec))
+                for _ in range(group.count)
+            )
+        await asyncio.gather(*tasks)
+    return tally
+
+
+def _scoreboard(service: StudyService, tally: dict) -> str:
+    stats = service.stats
+    lat = stats.latency_summary()
+    xstats = service.executor.stats
+    rows = [
+        ["requests", stats.requests],
+        ["  ok", tally["ok"]],
+        ["  deduped (single-flight)", stats.dedup_hits],
+        ["  rejected (backpressure)", stats.rejected],
+        ["  failed", tally["failed"]],
+        ["batches", stats.batches],
+        ["flights executed", stats.flights],
+        ["simulations executed", xstats.executed],
+        ["cache hits", xstats.hits],
+        ["latency p50 [ms]", round(lat["p50"] * 1e3, 3)],
+        ["latency p95 [ms]", round(lat["p95"] * 1e3, 3)],
+        ["latency p99 [ms]", round(lat["p99"] * 1e3, 3)],
+    ]
+    return ascii_table(["serve", "value"], rows)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description=(
+            "Serve experiment requests through the single-flight study "
+            "service and report dedupe/batch/latency statistics."
+        ),
+    )
+    src = parser.add_argument_group("traffic")
+    src.add_argument(
+        "--script", metavar="FILE", default=None,
+        help="JSON replay script (list of request objects; see "
+             "docs/serving.md)",
+    )
+    src.add_argument(
+        "--burst", type=int, default=None, metavar="N",
+        help="synthetic traffic: N concurrent identical requests",
+    )
+    src.add_argument(
+        "--fig", choices=["fig1", "fig3"], default="fig1",
+        help="figure shape for --burst (default fig1)",
+    )
+    src.add_argument(
+        "--runtime", default=None,
+        help="container runtime for --burst (default: per-figure)",
+    )
+    src.add_argument(
+        "--nodes", type=int, default=2, metavar="N",
+        help="nodes for --burst (default 2)",
+    )
+    src.add_argument(
+        "--sim-steps", type=int, default=1, metavar="N",
+        help="simulated steps per request for --burst (default 1)",
+    )
+    svc = parser.add_argument_group("service")
+    svc.add_argument(
+        "--max-pending", type=int, default=64, metavar="N",
+        help="admission bound on in-flight unique specs (default 64)",
+    )
+    svc.add_argument(
+        "--batch-window", type=float, default=0.005, metavar="SECONDS",
+        help="micro-batch collection window (default 0.005)",
+    )
+    svc.add_argument(
+        "--max-batch", type=int, default=16, metavar="N",
+        help="max flights per executor submission (default 16)",
+    )
+    svc.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="executor worker processes (default 1)",
+    )
+    svc.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=False,
+        help="back the service with the spec-keyed result cache",
+    )
+    svc.add_argument(
+        "--cache-dir", default=".repro-cache", metavar="DIR",
+        help="result-cache directory (default .repro-cache)",
+    )
+    chk = parser.add_argument_group("checks (exit 1 on violation)")
+    chk.add_argument(
+        "--expect-dedupe", type=int, default=None, metavar="N",
+        help="fail unless at least N requests were deduped",
+    )
+    chk.add_argument(
+        "--expect-max-executed", type=int, default=None, metavar="N",
+        help="fail if more than N simulations actually executed",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="FILE",
+        help="also dump the scoreboard as JSON to FILE ('-' = stdout)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if (args.script is None) == (args.burst is None):
+        print("error: exactly one of --script / --burst is required",
+              file=sys.stderr)
+        return 2
+    if args.burst is not None and args.burst < 1:
+        print("error: --burst must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        if args.script is not None:
+            groups = parse_script(json.loads(open(args.script).read()))
+        else:
+            groups = [
+                RequestGroup(
+                    spec=build_spec(
+                        args.fig, args.runtime, args.nodes, args.sim_steps
+                    ),
+                    count=args.burst,
+                )
+            ]
+    except (OSError, ValueError) as exc:
+        print(f"error: bad request script: {exc}", file=sys.stderr)
+        return 2
+
+    service = StudyService(
+        executor=ExperimentExecutor(
+            workers=args.workers,
+            cache=args.cache,
+            cache_dir=args.cache_dir,
+            keep_going=True,
+        ),
+        max_pending=args.max_pending,
+        batch_window=args.batch_window,
+        max_batch=args.max_batch,
+    )
+    tally = asyncio.run(_replay(service, groups))
+
+    total = sum(g.count for g in groups)
+    resolved = sum(tally.values())
+    drained_clean = resolved == total and service.pending == 0
+    print(f"Replayed {total} request(s) in {len(groups)} group(s); "
+          f"drain {'clean' if drained_clean else 'INCOMPLETE'}\n")
+    print(_scoreboard(service, tally))
+
+    if args.json:
+        payload = {
+            "tally": tally,
+            "serve": service.stats.as_dict(),
+            "executor": service.executor.stats.as_dict(),
+            "drained_clean": drained_clean,
+        }
+        blob = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        if args.json == "-":
+            print(blob, end="")
+        else:
+            with open(args.json, "w") as fh:
+                fh.write(blob)
+
+    ok = drained_clean and tally["failed"] == 0
+    if args.expect_dedupe is not None:
+        got = service.stats.dedup_hits
+        if got < args.expect_dedupe:
+            print(f"CHECK FAILED: deduped {got} < expected "
+                  f"{args.expect_dedupe}", file=sys.stderr)
+            ok = False
+    if args.expect_max_executed is not None:
+        got = service.executor.stats.executed
+        if got > args.expect_max_executed:
+            print(f"CHECK FAILED: executed {got} > allowed "
+                  f"{args.expect_max_executed}", file=sys.stderr)
+            ok = False
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

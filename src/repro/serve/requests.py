@@ -1,0 +1,121 @@
+"""Request shapes for the serving layer.
+
+The in-process API (:meth:`~repro.serve.service.StudyService.submit`)
+takes full :class:`~repro.core.experiment.ExperimentSpec` objects; the
+``repro-serve`` CLI and the throughput benchmark speak a small JSON
+dialect instead — one dict per request group, naming a paper figure
+shape plus the knobs that matter for traffic replay::
+
+    {"fig": "fig1", "runtime": "docker",      "nodes": 2, "count": 32}
+    {"fig": "fig3", "runtime": "singularity", "nodes": 8, "count": 4,
+     "sim_steps": 1, "delay_ms": 10}
+
+``fig`` picks the cluster/workmodel template (Lenox CFD for ``fig1``,
+MareNostrum4 FSI for ``fig3`` — the same shapes ``repro-study trace``
+drives); ``count`` replays the request that many times concurrently;
+``delay_ms`` sleeps before the group is fired, to shape bursts.
+Unknown keys are rejected so a typo cannot silently change a replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.containers.recipes import BuildTechnique
+from repro.core import calibration
+from repro.core.experiment import EndpointGranularity, ExperimentSpec
+from repro.hardware import catalog
+
+#: Request-dialect keys the replay scripts may use.
+_ALLOWED_KEYS = {"fig", "runtime", "nodes", "sim_steps", "count", "delay_ms"}
+
+_DEFAULT_RUNTIME = {"fig1": "docker", "fig3": "singularity"}
+
+
+@dataclass(frozen=True)
+class RequestGroup:
+    """One line of a replay script: a spec plus traffic shaping."""
+
+    spec: ExperimentSpec
+    count: int = 1
+    delay_ms: float = 0.0
+
+
+def build_spec(
+    fig: str,
+    runtime: Optional[str] = None,
+    nodes: int = 2,
+    sim_steps: int = 1,
+) -> ExperimentSpec:
+    """An :class:`ExperimentSpec` for one of the paper's figure shapes."""
+    if fig not in ("fig1", "fig3"):
+        raise ValueError(f"unknown figure shape {fig!r} (fig1|fig3)")
+    if nodes < 1:
+        raise ValueError("nodes must be >= 1")
+    if sim_steps < 1:
+        raise ValueError("sim_steps must be >= 1")
+    runtime = runtime or _DEFAULT_RUNTIME[fig]
+    if fig == "fig1":
+        return ExperimentSpec(
+            name=f"serve-fig1-{runtime}-n{nodes}",
+            cluster=catalog.LENOX,
+            runtime_name=runtime,
+            technique=(
+                None if runtime == "bare-metal"
+                else BuildTechnique.SELF_CONTAINED
+            ),
+            workmodel=calibration.lenox_cfd_workmodel(),
+            n_nodes=nodes,
+            ranks_per_node=7,
+            threads_per_rank=4,
+            sim_steps=sim_steps,
+            granularity=EndpointGranularity.RANK,
+        )
+    return ExperimentSpec(
+        name=f"serve-fig3-{runtime}-n{nodes}",
+        cluster=catalog.MARENOSTRUM4,
+        runtime_name=runtime,
+        technique=(
+            None if runtime == "bare-metal"
+            else BuildTechnique.SYSTEM_SPECIFIC
+        ),
+        workmodel=calibration.mn4_fsi_workmodel(),
+        n_nodes=nodes,
+        ranks_per_node=catalog.MARENOSTRUM4.node.cores,
+        threads_per_rank=1,
+        sim_steps=sim_steps,
+        granularity=EndpointGranularity.NODE,
+    )
+
+
+def parse_request(payload: dict) -> RequestGroup:
+    """One script line -> :class:`RequestGroup` (strict about keys)."""
+    if not isinstance(payload, dict):
+        raise ValueError(f"request must be an object, got {payload!r}")
+    unknown = set(payload) - _ALLOWED_KEYS
+    if unknown:
+        raise ValueError(
+            f"unknown request key(s) {sorted(unknown)}; "
+            f"allowed: {sorted(_ALLOWED_KEYS)}"
+        )
+    count = int(payload.get("count", 1))
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    delay_ms = float(payload.get("delay_ms", 0.0))
+    if delay_ms < 0:
+        raise ValueError("delay_ms must be >= 0")
+    spec = build_spec(
+        fig=payload.get("fig", "fig1"),
+        runtime=payload.get("runtime"),
+        nodes=int(payload.get("nodes", 2)),
+        sim_steps=int(payload.get("sim_steps", 1)),
+    )
+    return RequestGroup(spec=spec, count=count, delay_ms=delay_ms)
+
+
+def parse_script(payload) -> list[RequestGroup]:
+    """A whole replay script (JSON list of request objects)."""
+    if not isinstance(payload, list) or not payload:
+        raise ValueError("replay script must be a non-empty JSON list")
+    return [parse_request(entry) for entry in payload]

@@ -1,0 +1,372 @@
+"""The single-flight study service.
+
+:class:`StudyService` is the asyncio front door over
+:class:`~repro.exec.executor.ExperimentExecutor`: callers ``await
+submit(spec)`` and get an :class:`~repro.core.metrics.ExperimentResult`
+back, while the service collapses duplicate work and bounds the damage
+of overload.  Three mechanisms do all of it:
+
+Single-flight
+    Every admitted spec becomes a *flight* keyed by its
+    :func:`~repro.exec.speckey.spec_key`.  A request whose key already
+    has a flight in progress attaches to that flight instead of opening
+    a new one, so N concurrent identical requests cost exactly one
+    simulation, one cache write and N responses (all carrying the same
+    result payload).  The flight is retired only after its waiters are
+    resolved — a request arriving *after* completion opens a fresh
+    flight (which the executor's result cache then answers cheaply).
+
+Micro-batching
+    Admitted flights queue briefly (``batch_window`` seconds, at most
+    ``max_batch`` flights) and are submitted to the executor as one
+    :meth:`~repro.exec.executor.ExperimentExecutor.run_many` call, so
+    the executor's process pool amortises across requests the way it
+    already amortises across grid points.  The blocking ``run_many``
+    runs on a worker thread; the event loop keeps admitting.
+
+Admission control
+    At most ``max_pending`` flights may be in the building (queued or
+    executing).  Request N+1 with a *new* key is rejected immediately
+    with :class:`Overloaded` carrying a ``retry_after`` hint — explicit
+    backpressure beats an unbounded queue collapsing under its own
+    latency.  Piggybacking on an existing flight is always admitted (it
+    adds no work).  :meth:`drain` stops admissions and completes every
+    in-flight request before returning — graceful shutdown never drops
+    accepted work.
+
+Everything is instrumented through :mod:`repro.obs` (counters
+``serve.requests`` / ``serve.dedup_hits`` / ``serve.rejected`` /
+``serve.batches`` / ``serve.failures``, gauges ``serve.queue_depth`` /
+``serve.batch_size``, histogram ``serve.request_seconds``, and one
+``serve.request`` span per completed request), and mirrored in
+:class:`ServeStats` which additionally keeps exact request latencies for
+p50/p95/p99 reporting.  See ``docs/serving.md``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.experiment import ExperimentSpec
+from repro.core.metrics import ExperimentResult
+from repro.exec.executor import ExperimentExecutor
+from repro.exec.failures import FailedPoint
+from repro.exec.speckey import spec_key
+from repro.obs.span import Observability
+
+
+class ServeError(RuntimeError):
+    """Base class of everything the service can raise to a caller."""
+
+
+class Overloaded(ServeError):
+    """Admission refused: the pending-flight queue is full.
+
+    Attributes
+    ----------
+    retry_after:
+        Seconds after which a retry has a realistic chance — the time
+        the current backlog needs to clear one batch.
+    """
+
+    def __init__(self, pending: int, retry_after: float) -> None:
+        super().__init__(
+            f"study service overloaded: {pending} flights pending; "
+            f"retry after {retry_after:.3f}s"
+        )
+        self.pending = pending
+        self.retry_after = retry_after
+
+
+class ServiceClosed(ServeError):
+    """Request refused: the service is draining or has shut down."""
+
+
+class RequestFailed(ServeError):
+    """The simulation behind a request failed deterministically.
+
+    Wraps the :class:`~repro.exec.failures.FailedPoint` (or the raw
+    executor exception message) so every waiter of the flight sees the
+    same diagnosis.
+    """
+
+    def __init__(self, point: Optional[FailedPoint], detail: str) -> None:
+        super().__init__(detail)
+        self.point = point
+
+
+@dataclass
+class ServeStats:
+    """Cumulative accounting of one service's traffic."""
+
+    requests: int = 0
+    #: Requests that attached to an already-in-flight identical spec.
+    dedup_hits: int = 0
+    rejected: int = 0
+    batches: int = 0
+    #: Flights handed to the executor (= unique specs actually driven).
+    flights: int = 0
+    failures: int = 0
+    #: Per-request wall-clock latencies [s], completed requests only.
+    latencies: list = field(default_factory=list)
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile of the completed-request latencies.
+
+        ``p`` in [0, 100]; returns 0.0 when nothing has completed yet.
+        """
+        if not (0.0 <= p <= 100.0):
+            raise ValueError(f"percentile out of range: {p}")
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        rank = max(1, -(-len(ordered) * p // 100))  # ceil without math
+        return ordered[int(rank) - 1]
+
+    def latency_summary(self) -> dict:
+        return {
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "dedup_hits": self.dedup_hits,
+            "rejected": self.rejected,
+            "batches": self.batches,
+            "flights": self.flights,
+            "failures": self.failures,
+            "latency": self.latency_summary(),
+        }
+
+
+class _Flight:
+    """One admitted unique spec: the work unit batching operates on."""
+
+    __slots__ = ("key", "spec", "future", "waiters")
+
+    def __init__(self, key: str, spec: ExperimentSpec, future) -> None:
+        self.key = key
+        self.spec = spec
+        self.future = future
+        self.waiters = 1
+
+
+class StudyService:
+    """Serve experiment requests over a shared executor.
+
+    Parameters
+    ----------
+    executor:
+        The :class:`ExperimentExecutor` driving the actual simulations.
+        Defaults to a serial, cached, ``keep_going`` executor —
+        ``keep_going`` matters: one failing spec must annotate its own
+        flight, not abort its batchmates.
+    max_pending:
+        Admission bound on flights in the building (queued + executing).
+    batch_window:
+        Seconds an admitted flight waits for company before its batch is
+        sealed.  0 disables the wait (each batch takes whatever is
+        already queued).
+    max_batch:
+        Hard cap on flights per executor submission.
+    obs:
+        Metrics/span sink; a fresh :class:`Observability` by default
+        (exposed as :attr:`obs` either way).
+    """
+
+    def __init__(
+        self,
+        executor: Optional[ExperimentExecutor] = None,
+        max_pending: int = 64,
+        batch_window: float = 0.005,
+        max_batch: int = 16,
+        obs: Optional[Observability] = None,
+    ) -> None:
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if batch_window < 0:
+            raise ValueError("batch_window must be >= 0")
+        self.executor = executor or ExperimentExecutor(
+            workers=1, cache=True, keep_going=True
+        )
+        self.max_pending = max_pending
+        self.batch_window = batch_window
+        self.max_batch = max_batch
+        self.obs = obs or Observability()
+        self.stats = ServeStats()
+        #: key -> flight, for every flight not yet retired.
+        self._inflight: dict[str, _Flight] = {}
+        self._queue: deque[_Flight] = deque()
+        self._wake: Optional[asyncio.Event] = None
+        self._worker: Optional[asyncio.Task] = None
+        self._draining = False
+        self._closed = False
+        self._t0 = time.monotonic()
+
+    # -- lifecycle -----------------------------------------------------------
+    async def __aenter__(self) -> "StudyService":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.drain()
+
+    @property
+    def pending(self) -> int:
+        """Flights currently in the building (queued + executing)."""
+        return len(self._inflight)
+
+    def _ensure_worker(self) -> None:
+        if self._wake is None:
+            self._wake = asyncio.Event()
+        if self._worker is None or self._worker.done():
+            self._worker = asyncio.get_running_loop().create_task(
+                self._batch_loop(), name="repro-serve-batcher"
+            )
+
+    async def drain(self) -> None:
+        """Refuse new admissions, finish every in-flight request.
+
+        Idempotent; after it returns, :meth:`submit` raises
+        :class:`ServiceClosed` and all previously admitted futures are
+        resolved.
+        """
+        self._draining = True
+        if self._wake is not None:
+            self._wake.set()
+        if self._worker is not None:
+            await self._worker
+            self._worker = None
+        self._closed = True
+
+    # -- the request path ----------------------------------------------------
+    async def submit(self, spec: ExperimentSpec) -> ExperimentResult:
+        """Serve one request; resolves when its flight lands.
+
+        Raises :class:`Overloaded` (carrying ``retry_after``) when
+        admission control refuses the request, :class:`ServiceClosed`
+        after :meth:`drain`, and :class:`RequestFailed` when the
+        simulation itself failed.
+        """
+        t_start = time.monotonic()
+        self.stats.requests += 1
+        self.obs.metrics.counter("serve.requests").inc()
+        if self._draining or self._closed:
+            raise ServiceClosed("study service is draining; not admitting")
+        key = spec_key(spec)
+        flight = self._inflight.get(key)
+        deduped = flight is not None
+        if deduped:
+            flight.waiters += 1
+            self.stats.dedup_hits += 1
+            self.obs.metrics.counter("serve.dedup_hits").inc()
+        else:
+            if len(self._inflight) >= self.max_pending:
+                self.stats.rejected += 1
+                self.obs.metrics.counter("serve.rejected").inc()
+                raise Overloaded(
+                    pending=len(self._inflight),
+                    retry_after=self._retry_after(),
+                )
+            self._ensure_worker()
+            flight = _Flight(
+                key, spec, asyncio.get_running_loop().create_future()
+            )
+            self._inflight[key] = flight
+            self._queue.append(flight)
+            self._gauge_depth()
+            self._wake.set()
+        # shield: one waiter cancelling must not cancel the shared
+        # flight — the other waiters (and the cache write) still want it.
+        try:
+            outcome = await asyncio.shield(flight.future)
+        except RequestFailed:
+            self.stats.failures += 1
+            self.obs.metrics.counter("serve.failures").inc()
+            raise
+        latency = time.monotonic() - t_start
+        self.stats.latencies.append(latency)
+        self.obs.metrics.histogram("serve.request_seconds").observe(latency)
+        self.obs.add_span(
+            "serve.request", "serve",
+            t_start - self._t0, t_start - self._t0 + latency,
+            track="serve", key=key, deduped=deduped,
+        )
+        if isinstance(outcome, FailedPoint):
+            self.stats.failures += 1
+            self.obs.metrics.counter("serve.failures").inc()
+            raise RequestFailed(
+                outcome,
+                f"request {spec.name!r} failed: {outcome.error_type}: "
+                f"{outcome.error}",
+            )
+        return outcome
+
+    def _retry_after(self) -> float:
+        """Backpressure hint: batches needed to clear the backlog times
+        the batch window (floored at one window so it is never 0)."""
+        backlog_batches = -(-len(self._inflight) // self.max_batch)
+        return max(self.batch_window, 0.001) * max(1, backlog_batches)
+
+    def _gauge_depth(self) -> None:
+        self.obs.metrics.gauge("serve.queue_depth").set(len(self._inflight))
+
+    # -- the batching worker -------------------------------------------------
+    async def _batch_loop(self) -> None:
+        while True:
+            while not self._queue and not self._draining:
+                self._wake.clear()
+                await self._wake.wait()
+            if not self._queue:
+                return  # draining and nothing left
+            if self.batch_window > 0 and not self._draining:
+                # Hold the batch open briefly so concurrent arrivals
+                # share the executor submission.
+                await asyncio.sleep(self.batch_window)
+            batch = [
+                self._queue.popleft()
+                for _ in range(min(self.max_batch, len(self._queue)))
+            ]
+            await self._run_batch(batch)
+
+    async def _run_batch(self, batch: Sequence[_Flight]) -> None:
+        self.stats.batches += 1
+        self.stats.flights += len(batch)
+        self.obs.metrics.counter("serve.batches").inc()
+        self.obs.metrics.gauge("serve.batch_size").set(len(batch))
+        specs = [f.spec for f in batch]
+        # The executor runs on a thread (run_many blocks); it writes
+        # into its own fresh Observability which is merged back on the
+        # loop thread afterwards — no cross-thread mutation.
+        batch_obs = Observability()
+        loop = asyncio.get_running_loop()
+        try:
+            outcomes = await loop.run_in_executor(
+                None, lambda: self.executor.run_many(specs, obs=batch_obs)
+            )
+        except Exception as exc:  # fail-fast executor or infra error
+            detail = f"batch execution failed: {type(exc).__name__}: {exc}"
+            for f in batch:
+                if not f.future.done():
+                    # One instance per future: a shared exception object
+                    # would interleave tracebacks across waiter tasks.
+                    f.future.set_exception(RequestFailed(None, detail))
+                self._inflight.pop(f.key, None)
+            self._gauge_depth()
+            return
+        self.obs.merge(batch_obs)
+        for f, outcome in zip(batch, outcomes):
+            if not f.future.done():
+                f.future.set_result(outcome)
+            # Retire the flight: later identical requests re-submit (and
+            # typically hit the executor's result cache).
+            self._inflight.pop(f.key, None)
+        self._gauge_depth()

@@ -91,6 +91,51 @@ def test_fault_plan_changes_the_key_only_when_set():
     assert "fault_plan" not in canonical_spec_payload(plain)["spec"]
 
 
+def test_key_version_bumped_for_set_canonicalisation_fix():
+    from repro.exec.speckey import KEY_VERSION
+
+    assert KEY_VERSION >= 2
+    assert canonical_spec_payload(make_spec())["key_version"] == KEY_VERSION
+
+
+def test_set_elements_canonicalise_by_type_not_str():
+    """``{1}`` and ``{"1"}`` used to collide to ``["1"]`` — they must
+    canonicalise (and therefore hash) differently now."""
+    from repro.exec.speckey import _canon
+
+    import json
+
+    assert _canon({1}) != _canon({"1"})
+    assert _canon({1}) == [1]
+    assert _canon({"1"}) == ["1"]
+    # bool vs int: equal under Python ``==`` but distinct on the wire,
+    # which is what the SHA-256 key hashes.
+    assert json.dumps(_canon({True})) != json.dumps(_canon({1}))
+
+
+def test_mixed_type_sets_are_order_independent_and_json_safe():
+    import json
+
+    from repro.exec.speckey import _canon
+
+    a = _canon({1, "a", 2.5, None, False})
+    b = _canon({False, None, 2.5, "a", 1})
+    assert a == b
+    # Deterministic across hash seeds: a type-tagged sort, not set order.
+    assert json.loads(json.dumps(a)) == a
+
+
+def test_set_elements_canonicalise_recursively():
+    import enum
+
+    from repro.exec.speckey import _canon
+
+    class Colour(enum.Enum):
+        RED = 1
+
+    assert _canon(frozenset({Colour.RED})) == ["Colour.RED"]
+
+
 def test_payload_is_json_safe_and_order_independent():
     import json
 

@@ -1,0 +1,106 @@
+"""The ``repro-serve`` entry point and its request dialect."""
+
+import json
+
+import pytest
+
+from repro.serve.cli import build_parser, main
+from repro.serve.requests import build_spec, parse_request, parse_script
+
+
+def test_burst_mode_single_flight_end_to_end(capsys):
+    rc = main([
+        "--burst", "16", "--fig", "fig1", "--nodes", "2",
+        "--expect-dedupe", "15", "--expect-max-executed", "1",
+    ])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "drain clean" in out
+    assert "deduped (single-flight)" in out
+    assert "latency p99 [ms]" in out
+
+
+def test_script_mode_replays_and_dumps_json(tmp_path, capsys):
+    script = tmp_path / "replay.json"
+    script.write_text(json.dumps([
+        {"fig": "fig1", "nodes": 2, "count": 6},
+        {"fig": "fig1", "nodes": 2, "count": 2, "runtime": "singularity"},
+    ]))
+    report = tmp_path / "report.json"
+    rc = main([
+        "--script", str(script), "--json", str(report),
+        "--expect-dedupe", "1",
+    ])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "Replayed 8 request(s) in 2 group(s)" in out
+    payload = json.loads(report.read_text())
+    assert payload["drained_clean"] is True
+    assert payload["tally"]["ok"] == 8
+    # 6 identical + 2 identical -> 2 unique flights.
+    assert payload["serve"]["flights"] == 2
+    assert payload["serve"]["dedup_hits"] == 6
+    assert set(payload["serve"]["latency"]) == {"p50", "p95", "p99"}
+
+
+def test_failed_expectation_sets_exit_code(capsys):
+    rc = main(["--burst", "2", "--expect-dedupe", "99"])
+    assert rc == 1
+    assert "CHECK FAILED" in capsys.readouterr().err
+
+
+def test_traffic_source_is_mandatory_and_exclusive(tmp_path, capsys):
+    assert main([]) == 2
+    script = tmp_path / "s.json"
+    script.write_text("[]")
+    assert main(["--script", str(script), "--burst", "4"]) == 2
+
+
+def test_bad_script_is_a_usage_error(tmp_path, capsys):
+    script = tmp_path / "bad.json"
+    script.write_text(json.dumps([{"fig": "fig9"}]))
+    assert main(["--script", str(script)]) == 2
+    script.write_text(json.dumps([{"fig": "fig1", "typo_key": 1}]))
+    assert main(["--script", str(script)]) == 2
+    script.write_text("{not json")
+    assert main(["--script", str(script)]) == 2
+    assert main(["--script", str(tmp_path / "missing.json")]) == 2
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args(["--burst", "4"])
+    assert args.max_pending == 64
+    assert args.max_batch == 16
+    assert args.workers == 1
+    assert args.cache is False
+
+
+def test_request_dialect_strictness():
+    with pytest.raises(ValueError):
+        parse_request({"fig": "fig1", "count": 0})
+    with pytest.raises(ValueError):
+        parse_request({"fig": "fig1", "delay_ms": -1})
+    with pytest.raises(ValueError):
+        parse_request("not-a-dict")
+    with pytest.raises(ValueError):
+        parse_script([])
+    with pytest.raises(ValueError):
+        parse_script({"fig": "fig1"})
+    group = parse_request({"fig": "fig3", "nodes": 8, "count": 3})
+    assert group.count == 3
+    assert group.spec.cluster.name == "MareNostrum4"
+
+
+def test_build_spec_shapes_match_paper_studies():
+    fig1 = build_spec("fig1", nodes=2)
+    assert fig1.cluster.name == "Lenox"
+    assert fig1.runtime_name == "docker"
+    fig3 = build_spec("fig3", nodes=4)
+    assert fig3.cluster.name == "MareNostrum4"
+    assert fig3.runtime_name == "singularity"
+    with pytest.raises(ValueError):
+        build_spec("fig2")
+    with pytest.raises(ValueError):
+        build_spec("fig1", nodes=0)
+    with pytest.raises(ValueError):
+        build_spec("fig1", sim_steps=0)
