@@ -1,7 +1,9 @@
 #!/usr/bin/env python
-"""Serving-layer throughput: single-flight + batching vs naive replay.
+"""Serving-layer throughput: single-flight, batching, and sharding.
 
-Replays the same synthetic traffic mix two ways:
+Two benchmark families share this file:
+
+**Naive vs served** replays the same hot-spot traffic mix two ways:
 
 - ``naive``: what existed before ``repro.serve`` — every request
   re-drives the executor individually and sequentially (one
@@ -11,12 +13,21 @@ Replays the same synthetic traffic mix two ways:
   :class:`~repro.serve.service.StudyService`, which collapses identical
   in-flight requests to one execution and micro-batches the rest.
 
-The traffic is a hot-spot mix (most requests hit a few popular specs —
-the shape a cached public endpoint sees), so the served arm should
-execute one simulation per *unique* spec while the naive arm executes
-one per *request*.  Both arms must return byte-identical result payloads
-per spec — the benchmark asserts that first, so the speedup can never
-hide a semantic regression.
+**Cluster scaling** replays one seeded zipfian mix (the load
+generator's "millions of users" shape) through three targets: the
+single-process service, a 1-shard cluster, and a multi-shard cluster.
+Its gates are the sharding story's acceptance criteria:
+
+- byte parity — the multi-shard cluster's responses are byte-identical
+  to the single-process service's (equal scoreboard digests *and* equal
+  per-request payloads);
+- exact dedupe — every arm executes exactly one simulation per distinct
+  requested spec (global single-flight + L1);
+- near-linear scaling — the multi-shard arm beats the 1-shard arm by at
+  least ``--min-shard-speedup`` (default 3.0 at 4 shards).  This gate
+  needs real parallel hardware: it is enforced only when
+  ``os.cpu_count()`` >= the shard count (CI's 4-vCPU runners qualify),
+  and reported as skipped otherwise — correctness gates always run.
 
 Usage::
 
@@ -24,11 +35,7 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_serve_throughput.py --quick  # CI
     PYTHONPATH=src python benchmarks/bench_serve_throughput.py --quick --check
 
-``--check`` exits non-zero unless (a) the served arm executed exactly
-one simulation per unique spec, (b) responses matched the naive arm
-byte-for-byte, and (c) the served arm beat naive wall-clock by at least
-``--min-speedup`` (default 2.0 — the dedupe ratio alone is ~8x, so this
-floor only fails when serving overhead eats the win).
+``--check`` exits non-zero on any enforced-gate violation.
 """
 
 from __future__ import annotations
@@ -45,7 +52,16 @@ sys.path.insert(
 )
 
 from repro.exec import ExperimentExecutor  # noqa: E402
-from repro.serve import StudyService, build_spec  # noqa: E402
+from repro.serve import (  # noqa: E402
+    ShardRouter,
+    StudyCluster,
+    StudyService,
+    ZipfianMix,
+    balanced_universe,
+    build_spec,
+    run_load,
+    scoreboard,
+)
 
 
 def traffic_mix(quick: bool):
@@ -109,7 +125,77 @@ def run_served(requests, batch_window):
     return results, elapsed, service
 
 
+def cluster_mix(quick: bool, shards: int) -> ZipfianMix:
+    """The seeded zipfian mix for the scaling arms.
+
+    The universe is *balanced* for the target shard count (the router
+    spreads its keys evenly by construction), so the scaling gate
+    measures serving overhead rather than one hash draw's luck; the
+    specs differ by one mesh cell each — distinct keys, equal cost.
+    """
+    n_uniques = 12 if quick else 24
+    universe = balanced_universe(
+        n_uniques, ShardRouter(shards), fig="fig1", nodes=2, sim_steps=10
+    )
+    return ZipfianMix.build(
+        universe, n_requests=12 * n_uniques, s=1.1, seed=42
+    )
+
+
+def run_cluster_arm(mix: ZipfianMix, shards: int):
+    """One cluster replay; returns (report, scoreboard, setup_s)."""
+    t0 = time.perf_counter()
+    cluster = StudyCluster(shards=shards, max_pending=len(mix.universe))
+
+    async def replay():
+        async with cluster:
+            return await run_load(cluster, mix, concurrency=32)
+
+    report = asyncio.run(replay())
+    setup_s = time.perf_counter() - t0 - report.elapsed_s
+    board = scoreboard(
+        report,
+        cluster.stats.executed,
+        per_shard=cluster.stats.requests_by_shard,
+    )
+    return report, board, setup_s
+
+
+def run_service_arm(mix: ZipfianMix):
+    """The single-process parity baseline (L1-backed service)."""
+    service = StudyService(
+        executor=ExperimentExecutor(workers=1, l1=True, keep_going=True),
+        max_pending=len(mix.universe),
+        batch_window=0.005,
+    )
+
+    async def replay():
+        async with service:
+            return await run_load(service, mix, concurrency=32)
+
+    report = asyncio.run(replay())
+    board = scoreboard(report, service.executor.stats.executed)
+    return report, board
+
+
+def run_cluster_suite(quick: bool, max_shards: int):
+    """Replay the zipfian mix through service, 1 shard, and N shards."""
+    mix = cluster_mix(quick, max_shards)
+    shard_counts = [1, max_shards] if quick else [1, 2, max_shards]
+    print(
+        f"cluster mix: {mix.n_requests} zipf(s={mix.s}) requests over "
+        f"{len(mix.universe)} specs, seed {mix.seed}"
+    )
+    service_report, service_board = run_service_arm(mix)
+    arms = {}
+    for n in shard_counts:
+        report, board, setup_s = run_cluster_arm(mix, n)
+        arms[n] = {"report": report, "board": board, "setup_s": setup_s}
+    return mix, service_report, service_board, arms
+
+
 def payloads_by_name(results):
+    """Canonical JSON payload per spec name, asserting intra-arm parity."""
     out = {}
     for r in results:
         blob = json.dumps(r.to_json_dict(), sort_keys=True)
@@ -127,6 +213,16 @@ def main(argv=None) -> int:
     ap.add_argument("--min-speedup", type=float, default=2.0,
                     help="wall-clock floor served must beat (default 2.0)")
     ap.add_argument("--batch-window", type=float, default=0.01)
+    ap.add_argument("--cluster", action=argparse.BooleanOptionalAction,
+                    default=True,
+                    help="also run the sharded-cluster scaling arms")
+    ap.add_argument("--shards", type=int, default=4,
+                    help="shard count of the scaled cluster arm "
+                         "(default 4)")
+    ap.add_argument("--min-shard-speedup", type=float, default=3.0,
+                    help="wall-clock floor the multi-shard arm must "
+                         "beat over 1 shard (default 3.0; enforced "
+                         "only when cpu_count >= shards)")
     ap.add_argument("--out", default=None, metavar="FILE",
                     help="write the JSON report to FILE")
     args = ap.parse_args(argv)
@@ -168,13 +264,77 @@ def main(argv=None) -> int:
         "speedup": speedup,
         "parity": parity,
     }
+
+    failures = []
+    if args.cluster:
+        mix, service_report, service_board, arms = run_cluster_suite(
+            args.quick, args.shards
+        )
+        scaled = arms[args.shards]
+        baseline = arms[1]
+        shard_speedup = (
+            baseline["report"].elapsed_s / scaled["report"].elapsed_s
+            if scaled["report"].elapsed_s > 0
+            else float("inf")
+        )
+        cluster_parity = (
+            scaled["report"].payloads == service_report.payloads
+            and scaled["board"]["digest"] == service_board["digest"]
+        )
+        cores = os.cpu_count() or 1
+        speedup_enforced = cores >= args.shards
+        report["cluster"] = {
+            "requests": mix.n_requests,
+            "unique_specs": len(mix.universe),
+            "distinct_requested": mix.distinct_requested(),
+            "zipf_s": mix.s,
+            "seed": mix.seed,
+            "service": service_board,
+            "arms": {
+                str(n): {**arm["board"], "setup_s": arm["setup_s"]}
+                for n, arm in arms.items()
+            },
+            "shard_speedup": shard_speedup,
+            "shard_speedup_enforced": speedup_enforced,
+            "parity_vs_service": cluster_parity,
+        }
+        floor = mix.distinct_requested()
+        if not cluster_parity:
+            failures.append(
+                f"{args.shards}-shard cluster responses differ from the "
+                f"single-process service"
+            )
+        for label, board in (
+            [("service", service_board)]
+            + [(f"{n}-shard", arm["board"]) for n, arm in arms.items()]
+        ):
+            if board["errors"]:
+                failures.append(f"{label} arm had {board['errors']} errors")
+            if board["executed"] != floor:
+                failures.append(
+                    f"{label} arm executed {board['executed']} != "
+                    f"{floor} distinct specs (dedupe not exact)"
+                )
+        if speedup_enforced:
+            if shard_speedup < args.min_shard_speedup:
+                failures.append(
+                    f"shard speedup {shard_speedup:.2f}x below floor "
+                    f"{args.min_shard_speedup}x ({args.shards} shards)"
+                )
+        else:
+            print(
+                f"note: shard-speedup gate skipped "
+                f"({cores} cores < {args.shards} shards); "
+                f"measured {shard_speedup:.2f}x",
+                file=sys.stderr,
+            )
+
     print(json.dumps(report, indent=2, sort_keys=True))
     if args.out:
         with open(args.out, "w") as fh:
             fh.write(json.dumps(report, indent=2, sort_keys=True) + "\n")
 
     if args.check:
-        failures = []
         if not parity:
             failures.append("served responses differ from naive")
         if not dedupe_exact:

@@ -37,6 +37,15 @@ full span trees exist only for executed points.  Cache *writes* are
 best-effort: an unwritable cache directory degrades to a warning and a
 miss, never a crashed sweep.
 
+With ``l1=True`` the executor additionally memoises successful results
+in process memory, keyed by :func:`~repro.exec.speckey.spec_key`.  The
+L1 is checked before the on-disk cache (which becomes the shared L2 in
+a multi-process serving cluster — see :mod:`repro.serve.cluster`): a
+repeat of an already-served spec costs a dict lookup, no JSON parse.
+L2 hits are promoted into the L1; failures are never memoised (a retry
+of a failed spec re-executes).  The lookup order is checkpoint → L1 →
+L2 → execute.
+
 Self-robustness
 ---------------
 The executor survives its own failures (see ``docs/faults.md``):
@@ -57,6 +66,7 @@ The executor survives its own failures (see ``docs/faults.md``):
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import time
 import warnings
@@ -110,6 +120,8 @@ class ExecStats:
     executed: int = 0
     hits: int = 0
     misses: int = 0
+    #: repeats answered from the in-memory L1 memo (``l1=True`` only).
+    l1_hits: int = 0
     #: grid points executed through the process pool (vs. inline).
     parallel_executed: int = 0
     #: infrastructure retries (crashed worker / timed-out point re-runs).
@@ -127,6 +139,7 @@ class ExecStats:
             "executed": self.executed,
             "hits": self.hits,
             "misses": self.misses,
+            "l1_hits": self.l1_hits,
             "parallel_executed": self.parallel_executed,
             "retries": self.retries,
             "failures": self.failures,
@@ -149,6 +162,10 @@ class ExperimentExecutor:
     cache_dir:
         Cache root (default ``.repro-cache/``); only used when ``cache``
         is on.
+    l1:
+        Enable the in-process result memo (checked before the on-disk
+        cache; successful results only).  This is the per-worker L1 of
+        a serving cluster — see the *Caching* section above.
     timeout:
         Per-spec wall-clock budget in seconds (pooled execution only —
         inline runs cannot be preempted).  A point still running when
@@ -173,6 +190,7 @@ class ExperimentExecutor:
         workers: Optional[int] = None,
         cache: bool = False,
         cache_dir: Union[str, Path] = ".repro-cache",
+        l1: bool = False,
         timeout: Optional[float] = None,
         max_retries: int = 2,
         retry_backoff: float = 0.5,
@@ -191,6 +209,7 @@ class ExperimentExecutor:
         self.cache: Optional[ResultCache] = (
             ResultCache(cache_dir) if cache else None
         )
+        self.l1: Optional[dict[str, ExperimentResult]] = {} if l1 else None
         self.timeout = timeout
         self.max_retries = max_retries
         self.retry_backoff = retry_backoff
@@ -236,6 +255,19 @@ class ExperimentExecutor:
                     results[i] = replayed
                     cached[i] = True
                     self.stats.resumed += 1
+
+        # L1 (in-process memo) answers repeats without touching disk.
+        if self.l1 is not None:
+            for i, spec in enumerate(specs):
+                if results[i] is not None:
+                    continue
+                hit = self.l1.get(keys[i])
+                if hit is not None:
+                    if hit.spec_name != spec.name:
+                        hit = dataclasses.replace(hit, spec_name=spec.name)
+                    results[i] = hit
+                    cached[i] = True
+                    self.stats.l1_hits += 1
 
         # Cache lookups for the rest: only misses are executed.
         if self.cache is not None:
@@ -311,6 +343,10 @@ class ExperimentExecutor:
                 self._checkpoint_point(keys[i], outcome, spec.name)
                 if self.cache is not None:
                     self._cache_put(spec, outcome)
+            if self.l1 is not None:
+                # Executed results and L2 hits both promote into the L1;
+                # failures never do (a retried spec must re-execute).
+                self.l1.setdefault(keys[i], outcome)
             if obs is not None:
                 marker = "exec.cache_hit" if cached[i] else "exec.submit"
                 obs.add_span(

@@ -224,3 +224,54 @@ class MetricsRegistry:
     def to_dict(self) -> dict:
         """Deterministic dump: sorted by name, stable field order."""
         return {name: self._metrics[name].to_dict() for name in self.names()}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MetricsRegistry":
+        """Rebuild a registry from a :meth:`to_dict` dump.
+
+        The inverse of :meth:`to_dict` up to instrument state — this is
+        how a shard worker's metrics cross a process boundary as plain
+        JSON-able data (see :mod:`repro.serve.cluster`).  A malformed
+        payload raises :class:`MetricError`, never silently drops data.
+        """
+        if not isinstance(payload, dict):
+            raise MetricError(f"metrics dump must be a dict, got {payload!r}")
+        reg = cls()
+        for name in sorted(payload):
+            entry = payload[name]
+            if not isinstance(entry, dict) or "kind" not in entry:
+                raise MetricError(f"metric {name!r}: malformed dump entry")
+            kind = entry["kind"]
+            try:
+                if kind == "counter":
+                    reg.counter(name).inc(entry["value"])
+                elif kind == "gauge":
+                    g = reg.gauge(name)
+                    g.value = entry["value"]
+                    g.min = entry["min"]
+                    g.max = entry["max"]
+                elif kind == "histogram":
+                    h = reg.histogram(name, bounds=entry["bounds"])
+                    counts = list(entry["counts"])
+                    if len(counts) != len(h.counts):
+                        raise MetricError(
+                            f"histogram {name!r}: {len(counts)} buckets "
+                            f"for {len(h.bounds)} bounds"
+                        )
+                    h.counts = counts
+                    h.count = entry["count"]
+                    h.sum = entry["sum"]
+                else:
+                    raise MetricError(
+                        f"metric {name!r}: unknown kind {kind!r}"
+                    )
+            except (KeyError, TypeError) as exc:
+                raise MetricError(
+                    f"metric {name!r}: malformed dump entry: {exc}"
+                ) from None
+        return reg
+
+    def merge_dict(self, payload: dict) -> None:
+        """Fold a :meth:`to_dict` dump into this registry (see
+        :meth:`merge` for the per-kind semantics)."""
+        self.merge(MetricsRegistry.from_dict(payload))

@@ -11,6 +11,15 @@ Where :mod:`repro.exec` distributes one caller's grid across processes,
   and admission control rejects (with a ``retry_after`` hint) instead of
   queueing without bound.  :meth:`~StudyService.drain` completes all
   admitted work while refusing new requests.
+- :mod:`repro.serve.cluster` — :class:`StudyCluster`, the sharded
+  front end: N worker processes (own executor + in-memory L1, shared
+  on-disk L2) behind a :class:`~repro.serve.router.ShardRouter` that
+  consistent-hashes :func:`~repro.exec.speckey.spec_key`, making the
+  per-shard single-flight globally single-flight.
+- :mod:`repro.serve.router` — the consistent-hash ring (stable,
+  balanced, minimally disruptive on resize).
+- :mod:`repro.serve.loadgen` — seeded zipfian traffic generation and
+  the deterministic scoreboard ("millions of users" replay harness).
 - :mod:`repro.serve.requests` — the JSON request dialect the
   ``repro-serve`` CLI and the throughput benchmark replay.
 - :mod:`repro.serve.cli` — the ``repro-serve`` entry point.
@@ -20,7 +29,23 @@ Semantics, metric names and the backpressure contract are documented in
 lives in ``benchmarks/bench_serve_throughput.py``.
 """
 
+from repro.serve.cluster import (
+    ClusterStats,
+    ShardConfig,
+    ShardDown,
+    StudyCluster,
+)
+from repro.serve.loadgen import (
+    LoadReport,
+    ZipfianMix,
+    balanced_universe,
+    default_universe,
+    run_load,
+    scoreboard,
+    zipfian_sequence,
+)
 from repro.serve.requests import RequestGroup, build_spec, parse_script
+from repro.serve.router import ShardRouter
 from repro.serve.service import (
     Overloaded,
     RequestFailed,
@@ -31,13 +56,25 @@ from repro.serve.service import (
 )
 
 __all__ = [
+    "ClusterStats",
+    "LoadReport",
     "Overloaded",
     "RequestFailed",
     "RequestGroup",
     "ServeError",
     "ServeStats",
     "ServiceClosed",
+    "ShardConfig",
+    "ShardDown",
+    "ShardRouter",
+    "StudyCluster",
     "StudyService",
+    "ZipfianMix",
+    "balanced_universe",
     "build_spec",
+    "default_universe",
     "parse_script",
+    "run_load",
+    "scoreboard",
+    "zipfian_sequence",
 ]

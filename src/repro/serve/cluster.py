@@ -1,0 +1,618 @@
+"""The sharded study cluster: N service workers behind a shard router.
+
+:class:`StudyCluster` scales :class:`~repro.serve.service.StudyService`
+past the process boundary.  N *shard workers* — one OS process each,
+each owning its own :class:`~repro.exec.executor.ExperimentExecutor`
+with an in-memory L1 memo (``l1=True``) and, optionally, the shared
+on-disk :class:`~repro.exec.cache.ResultCache` as L2 — sit behind a
+:class:`~repro.serve.router.ShardRouter` that consistent-hashes every
+request's :func:`~repro.exec.speckey.spec_key`:
+
+- **Global single-flight.** Identical requests always route to the same
+  shard, so the per-shard dedupe *is* cluster-wide dedupe: concurrent
+  duplicates join the in-flight request at the front end (no second
+  message crosses the pipe), later repeats hit the owning worker's L1.
+  A spec executes at most once per cluster lifetime, no matter which of
+  millions of callers asks, how often, or when.
+- **Self-clocking batches.** Each shard has at most one outstanding
+  batch; requests arriving while the worker is busy accumulate and are
+  flushed (up to ``max_batch``) the moment its previous batch lands.
+  Under load the batch size grows automatically — no timer to tune.
+- **Bounded admission.** At most ``max_pending`` unique specs may be in
+  flight per shard; beyond that, new keys are rejected with
+  :class:`~repro.serve.service.Overloaded` exactly like the
+  single-process service.
+- **Crash containment.** A dying worker fails only the requests routed
+  to it (:class:`ShardDown`); the other shards keep serving, and
+  :meth:`drain` still completes cleanly.
+
+Transport is a duplex :func:`multiprocessing.Pipe` per worker: specs
+travel as pickles, results return as the same canonical JSON the result
+cache writes — so a response is byte-identical whether it was computed
+here, replayed from L1/L2, or served by a single-process
+:class:`StudyService` (the parity gate in
+``benchmarks/bench_serve_throughput.py`` holds the cluster to that).
+
+Worker-side accounting comes back as ``serve.shard.*`` counters/gauges
+(one :class:`~repro.obs.metrics.MetricsRegistry` dump per worker,
+folded into the front end's :class:`~repro.obs.span.Observability` at
+drain), next to the front end's own ``serve.*`` metrics — one report
+for the whole cluster.  See ``docs/serving.md``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import multiprocessing as mp
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.experiment import ExperimentSpec
+from repro.core.metrics import ExperimentResult
+from repro.exec.executor import ExperimentExecutor
+from repro.exec.failures import FailedPoint
+from repro.exec.speckey import spec_key
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.span import Observability
+from repro.serve.router import ShardRouter
+from repro.serve.service import (
+    Overloaded,
+    RequestFailed,
+    ServeError,
+    ServeStats,
+    ServiceClosed,
+)
+
+
+class ShardDown(ServeError):
+    """The shard owning this request's key has died."""
+
+    def __init__(self, shard: int, detail: str) -> None:
+        super().__init__(f"shard {shard} is down: {detail}")
+        self.shard = shard
+
+
+@dataclass
+class ShardConfig:
+    """Per-worker executor configuration (pickled to the worker)."""
+
+    shard_id: int
+    workers: int = 1
+    cache: bool = False
+    cache_dir: str = ".repro-cache"
+    l1: bool = True
+
+
+@dataclass
+class ClusterStats(ServeStats):
+    """Front-end accounting plus the per-shard balance view.
+
+    The totals (`requests`, `dedup_hits`, ...) mean the same thing as on
+    :class:`~repro.serve.service.ServeStats`; the ``*_by_shard`` lists
+    and the worker-side aggregates (``executed`` / ``l1_hits`` /
+    ``l2_hits``, collected at drain) are cluster-specific.
+    """
+
+    shards: int = 0
+    #: Requests routed to each shard (dedupe joins included — this is
+    #: the traffic balance the router produced).
+    requests_by_shard: list = field(default_factory=list)
+    #: Unique in-flight specs actually sent to each worker.
+    flights_by_shard: list = field(default_factory=list)
+    #: Simulations executed across all workers (filled at drain).
+    executed: int = 0
+    #: Worker L1-memo hits across all workers (filled at drain).
+    l1_hits: int = 0
+    #: Shared on-disk L2 cache hits across all workers (filled at drain).
+    l2_hits: int = 0
+    shard_crashes: int = 0
+
+    def balance_ratio(self) -> float:
+        """max/min requests per shard (``inf`` if a shard saw none)."""
+        if not self.requests_by_shard:
+            return 1.0
+        low = min(self.requests_by_shard)
+        if low == 0:
+            return float("inf")
+        return max(self.requests_by_shard) / low
+
+    def as_dict(self) -> dict:
+        out = super().as_dict()
+        out.update(
+            {
+                "shards": self.shards,
+                "requests_by_shard": list(self.requests_by_shard),
+                "flights_by_shard": list(self.flights_by_shard),
+                "executed": self.executed,
+                "l1_hits": self.l1_hits,
+                "l2_hits": self.l2_hits,
+                "shard_crashes": self.shard_crashes,
+                "balance_ratio": self.balance_ratio(),
+            }
+        )
+        return out
+
+
+# -- the worker process ------------------------------------------------------
+
+def _worker_main(conn, cfg: ShardConfig) -> None:
+    """Shard worker: recv batches, run them, send outcomes, repeat.
+
+    Runs until a ``("shutdown",)`` message (answered with a ``("bye",
+    ...)`` carrying the worker's metrics dump and executor stats) or
+    until the pipe closes under it (parent died — just exit).  Results
+    travel as canonical JSON — the cache's wire format — so the parent
+    reconstructs exactly what a local executor would have returned.
+    """
+    executor = ExperimentExecutor(
+        workers=cfg.workers,
+        cache=cfg.cache,
+        cache_dir=cfg.cache_dir,
+        l1=cfg.l1,
+        keep_going=True,
+    )
+    metrics = MetricsRegistry()
+    requests_c = metrics.counter("serve.shard.requests")
+    batches_c = metrics.counter("serve.shard.batches")
+    executed_c = metrics.counter("serve.shard.executed")
+    l1_c = metrics.counter("serve.shard.l1_hits")
+    l2_c = metrics.counter("serve.shard.l2_hits")
+    failures_c = metrics.counter("serve.shard.failures")
+    batch_g = metrics.gauge("serve.shard.batch_size")
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                return  # parent went away; nothing left to serve
+            if msg[0] == "shutdown":
+                conn.send(
+                    ("bye", metrics.to_dict(), executor.stats.as_dict())
+                )
+                return
+            if msg[0] != "run":  # pragma: no cover - protocol guard
+                raise RuntimeError(f"unknown message {msg[0]!r}")
+            batch = msg[1]
+            requests_c.inc(len(batch))
+            batches_c.inc()
+            batch_g.set(len(batch))
+            before = (
+                executor.stats.executed,
+                executor.stats.l1_hits,
+                executor.stats.hits,
+            )
+            outcomes = executor.run_many([spec for _, spec in batch])
+            executed_c.inc(executor.stats.executed - before[0])
+            l1_c.inc(executor.stats.l1_hits - before[1])
+            l2_c.inc(executor.stats.hits - before[2])
+            replies = []
+            for (seq, _), outcome in zip(batch, outcomes):
+                if isinstance(outcome, FailedPoint):
+                    failures_c.inc()
+                    replies.append((seq, "failed", outcome))
+                else:
+                    blob = json.dumps(
+                        outcome.to_json_dict(), sort_keys=True
+                    )
+                    replies.append((seq, "result", blob))
+            conn.send(("done", replies))
+    except Exception as exc:  # infra failure: tell the parent, then die
+        try:
+            conn.send(("crash", f"{type(exc).__name__}: {exc}"))
+        except (OSError, ValueError):  # pragma: no cover
+            pass
+        raise
+
+
+class _ClusterFlight:
+    """One unique in-flight spec at the front end."""
+
+    __slots__ = ("key", "spec", "seq", "shard", "future", "waiters")
+
+    def __init__(self, key, spec, seq, shard, future) -> None:
+        self.key = key
+        self.spec = spec
+        self.seq = seq
+        self.shard = shard
+        self.future = future
+        self.waiters = 1
+
+
+class _Shard:
+    """Front-end bookkeeping for one worker process."""
+
+    __slots__ = (
+        "proc", "conn", "queue", "outstanding", "inflight", "alive",
+        "bye", "bye_payload", "reader",
+    )
+
+    def __init__(self, proc, conn) -> None:
+        self.proc = proc
+        self.conn = conn
+        self.queue: deque = deque()
+        self.outstanding = False
+        self.inflight = 0
+        self.alive = True
+        self.bye = asyncio.Event()
+        self.bye_payload = None
+        self.reader: Optional[threading.Thread] = None
+
+
+class StudyCluster:
+    """Serve experiment requests across N shard worker processes.
+
+    The request API mirrors :class:`~repro.serve.service.StudyService`
+    (``await submit(spec)`` → :class:`ExperimentResult`, raising
+    :class:`Overloaded` / :class:`ServiceClosed` / :class:`RequestFailed`
+    plus the cluster-specific :class:`ShardDown`), so load generators,
+    the CLI and the parity tests drive either interchangeably.
+
+    Parameters
+    ----------
+    shards:
+        Worker process count (ignored when ``router`` is given).
+    router:
+        The consistent-hash router; a default
+        :class:`~repro.serve.router.ShardRouter` over ``shards`` if
+        omitted.
+    workers_per_shard:
+        Executor processes *inside* each worker (default 1: the worker
+        itself is the parallelism unit).
+    cache / cache_dir:
+        Give every worker the shared on-disk result cache as L2.
+    l1:
+        Per-worker in-memory result memo (default on — it is what makes
+        repeats of a served spec cost one dict lookup).
+    max_pending:
+        Admission bound on unique in-flight specs *per shard*.
+    max_batch:
+        Max specs per pipe message / executor submission.
+    obs:
+        Front-end metrics/span sink; worker-side ``serve.shard.*``
+        metrics are folded in at drain.
+    """
+
+    def __init__(
+        self,
+        shards: int = 2,
+        router: Optional[ShardRouter] = None,
+        workers_per_shard: int = 1,
+        cache: bool = False,
+        cache_dir: str = ".repro-cache",
+        l1: bool = True,
+        max_pending: int = 64,
+        max_batch: int = 16,
+        obs: Optional[Observability] = None,
+    ) -> None:
+        self.router = router or ShardRouter(shards)
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.workers_per_shard = workers_per_shard
+        self.cache = cache
+        self.cache_dir = cache_dir
+        self.l1 = l1
+        self.max_pending = max_pending
+        self.max_batch = max_batch
+        self.obs = obs or Observability()
+        n = self.router.n_shards
+        self.stats = ClusterStats(
+            shards=n,
+            requests_by_shard=[0] * n,
+            flights_by_shard=[0] * n,
+        )
+        self._shards: list[_Shard] = []
+        self._flights: dict[str, _ClusterFlight] = {}
+        self._by_seq: dict[int, _ClusterFlight] = {}
+        self._seq = itertools.count()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._idle: Optional[asyncio.Event] = None
+        self._started = False
+        self._draining = False
+        self._closed = False
+        self._t0 = time.monotonic()
+
+    # -- lifecycle -----------------------------------------------------------
+    async def __aenter__(self) -> "StudyCluster":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.drain()
+
+    @property
+    def n_shards(self) -> int:
+        return self.router.n_shards
+
+    @property
+    def pending(self) -> int:
+        """Unique specs currently in flight across all shards."""
+        return len(self._flights)
+
+    async def start(self) -> "StudyCluster":
+        """Spawn the worker processes and their pipe readers."""
+        if self._started:
+            return self
+        if self._closed:
+            raise ServiceClosed("cluster has been drained")
+        self._loop = asyncio.get_running_loop()
+        self._idle = asyncio.Event()
+        # fork is cheap (workers inherit the warm interpreter) and is
+        # the Linux default; fall back to spawn where fork is absent.
+        methods = mp.get_all_start_methods()
+        ctx = mp.get_context("fork" if "fork" in methods else "spawn")
+        for shard_id in range(self.n_shards):
+            cfg = ShardConfig(
+                shard_id=shard_id,
+                workers=self.workers_per_shard,
+                cache=self.cache,
+                cache_dir=str(self.cache_dir),
+                l1=self.l1,
+            )
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(child_conn, cfg),
+                daemon=True,
+                name=f"repro-serve-shard-{shard_id}",
+            )
+            proc.start()
+            # Parent's copy of the child end must close *before* the
+            # next fork, so no sibling holds a stray write end open
+            # (that would defeat EOF-based crash detection).
+            child_conn.close()
+            self._shards.append(_Shard(proc, parent_conn))
+        # Readers start only after every fork: forking a multi-threaded
+        # process is where the dragons live.
+        for shard_id, shard in enumerate(self._shards):
+            t = threading.Thread(
+                target=self._reader,
+                args=(shard_id, shard),
+                daemon=True,
+                name=f"repro-serve-reader-{shard_id}",
+            )
+            shard.reader = t
+            t.start()
+        self._started = True
+        self.obs.metrics.gauge("serve.cluster.shards").set(self.n_shards)
+        return self
+
+    async def drain(self) -> None:
+        """Complete all in-flight work, then retire every worker.
+
+        Idempotent.  Collects each worker's ``serve.shard.*`` metrics
+        and executor stats into :attr:`obs` / :attr:`stats` before the
+        processes exit; afterwards :meth:`submit` raises
+        :class:`ServiceClosed`.
+        """
+        if self._closed:
+            return
+        self._draining = True
+        if self._started:
+            while self._flights:
+                self._idle.clear()
+                await self._idle.wait()
+            for shard in self._shards:
+                if shard.alive:
+                    try:
+                        shard.conn.send(("shutdown",))
+                    except (OSError, ValueError, BrokenPipeError):
+                        shard.alive = False
+            await asyncio.gather(
+                *(self._collect_bye(s) for s in self._shards)
+            )
+            for shard in self._shards:
+                await asyncio.get_running_loop().run_in_executor(
+                    None, shard.proc.join, 10.0
+                )
+                if shard.proc.is_alive():  # pragma: no cover
+                    shard.proc.terminate()
+                try:
+                    shard.conn.close()
+                except OSError:  # pragma: no cover
+                    pass
+            self._finalise_stats()
+        self._closed = True
+
+    async def _collect_bye(self, shard: _Shard) -> None:
+        if not shard.alive:
+            return
+        try:
+            await asyncio.wait_for(shard.bye.wait(), timeout=60.0)
+        except asyncio.TimeoutError:  # pragma: no cover
+            shard.alive = False
+            shard.proc.terminate()
+
+    def _finalise_stats(self) -> None:
+        load = self.stats.requests_by_shard
+        self.obs.metrics.gauge("serve.cluster.load_max").set(
+            max(load) if load else 0
+        )
+        self.obs.metrics.gauge("serve.cluster.load_min").set(
+            min(load) if load else 0
+        )
+        for shard in self._shards:
+            payload = shard.bye_payload
+            if payload is None:
+                continue
+            metrics_dump, exec_stats = payload
+            self.obs.metrics.merge_dict(metrics_dump)
+            self.stats.executed += exec_stats["executed"]
+            self.stats.l1_hits += exec_stats["l1_hits"]
+            self.stats.l2_hits += exec_stats["hits"]
+
+    # -- the request path ----------------------------------------------------
+    async def submit(self, spec: ExperimentSpec) -> ExperimentResult:
+        """Serve one request through its key's owning shard."""
+        t_start = time.monotonic()
+        self.stats.requests += 1
+        self.obs.metrics.counter("serve.requests").inc()
+        if self._draining or self._closed:
+            raise ServiceClosed("study cluster is draining; not admitting")
+        if not self._started:
+            raise RuntimeError(
+                "StudyCluster.submit before start(); use 'async with' "
+                "or await start() first"
+            )
+        key = spec_key(spec)
+        flight = self._flights.get(key)
+        deduped = flight is not None
+        if deduped:
+            flight.waiters += 1
+            self.stats.dedup_hits += 1
+            self.obs.metrics.counter("serve.dedup_hits").inc()
+        else:
+            shard_id = self.router.shard_for(key)
+            shard = self._shards[shard_id]
+            if not shard.alive:
+                self.stats.failures += 1
+                self.obs.metrics.counter("serve.failures").inc()
+                raise ShardDown(shard_id, "worker process has exited")
+            if shard.inflight >= self.max_pending:
+                self.stats.rejected += 1
+                self.obs.metrics.counter("serve.rejected").inc()
+                raise Overloaded(
+                    pending=shard.inflight,
+                    retry_after=self._retry_after(shard),
+                )
+            flight = _ClusterFlight(
+                key, spec, next(self._seq), shard_id,
+                asyncio.get_running_loop().create_future(),
+            )
+            self._flights[key] = flight
+            self._by_seq[flight.seq] = flight
+            shard.inflight += 1
+            shard.queue.append(flight)
+            self._gauge_depth()
+            self._flush(shard_id)
+        self.stats.requests_by_shard[flight.shard] += 1
+        try:
+            outcome = await asyncio.shield(flight.future)
+        except (RequestFailed, ShardDown):
+            self.stats.failures += 1
+            self.obs.metrics.counter("serve.failures").inc()
+            raise
+        latency = time.monotonic() - t_start
+        self.stats.latencies.append(latency)
+        self.obs.metrics.histogram("serve.request_seconds").observe(latency)
+        self.obs.add_span(
+            "serve.request", "serve",
+            t_start - self._t0, t_start - self._t0 + latency,
+            track="serve", key=key, deduped=deduped, shard=flight.shard,
+        )
+        return outcome
+
+    def _retry_after(self, shard: _Shard) -> float:
+        """Backpressure hint: batches the shard's backlog needs, at a
+        nominal batch turnaround."""
+        backlog_batches = -(-shard.inflight // self.max_batch)
+        return 0.01 * max(1, backlog_batches)
+
+    def _gauge_depth(self) -> None:
+        self.obs.metrics.gauge("serve.queue_depth").set(len(self._flights))
+
+    def _flush(self, shard_id: int) -> None:
+        """Send the next batch if the shard's worker is free."""
+        shard = self._shards[shard_id]
+        if shard.outstanding or not shard.alive or not shard.queue:
+            return
+        batch = [
+            shard.queue.popleft()
+            for _ in range(min(self.max_batch, len(shard.queue)))
+        ]
+        shard.outstanding = True
+        self.stats.batches += 1
+        self.stats.flights += len(batch)
+        self.stats.flights_by_shard[shard_id] += len(batch)
+        self.obs.metrics.counter("serve.batches").inc()
+        self.obs.metrics.gauge("serve.batch_size").set(len(batch))
+        try:
+            shard.conn.send(("run", [(f.seq, f.spec) for f in batch]))
+        except (OSError, ValueError, BrokenPipeError):
+            self._shard_died(shard_id, "pipe write failed")
+
+    # -- worker messages (loop thread; scheduled by the readers) -------------
+    def _reader(self, shard_id: int, shard: _Shard) -> None:
+        """Blocking pipe reader (one daemon thread per worker)."""
+        try:
+            while True:
+                msg = shard.conn.recv()
+                self._loop.call_soon_threadsafe(
+                    self._on_message, shard_id, msg
+                )
+                if msg[0] in ("bye", "crash"):
+                    return
+        except (EOFError, OSError):
+            self._loop.call_soon_threadsafe(self._on_eof, shard_id)
+
+    def _on_message(self, shard_id: int, msg) -> None:
+        shard = self._shards[shard_id]
+        kind = msg[0]
+        if kind == "done":
+            for seq, outcome_kind, payload in msg[1]:
+                flight = self._by_seq.pop(seq, None)
+                if flight is None:  # pragma: no cover - protocol guard
+                    continue
+                if outcome_kind == "failed":
+                    point: FailedPoint = payload
+                    if not flight.future.done():
+                        flight.future.set_exception(
+                            RequestFailed(
+                                point,
+                                f"request {flight.spec.name!r} failed: "
+                                f"{point.error_type}: {point.error}",
+                            )
+                        )
+                else:
+                    result = ExperimentResult.from_json_dict(
+                        json.loads(payload)
+                    )
+                    if not flight.future.done():
+                        flight.future.set_result(result)
+                self._flights.pop(flight.key, None)
+                shard.inflight -= 1
+            shard.outstanding = False
+            self._gauge_depth()
+            self._flush(shard_id)
+            if not self._flights and self._idle is not None:
+                self._idle.set()
+        elif kind == "bye":
+            shard.bye_payload = (msg[1], msg[2])
+            shard.alive = False
+            shard.bye.set()
+        elif kind == "crash":
+            self._shard_died(shard_id, msg[1])
+
+    def _on_eof(self, shard_id: int) -> None:
+        shard = self._shards[shard_id]
+        if shard.bye_payload is not None or not shard.alive:
+            return  # clean shutdown (or already handled)
+        self._shard_died(shard_id, "worker pipe closed unexpectedly")
+
+    def _shard_died(self, shard_id: int, detail: str) -> None:
+        """Fail everything routed to a dead shard; keep the rest alive."""
+        shard = self._shards[shard_id]
+        if not shard.alive:
+            return
+        shard.alive = False
+        shard.bye.set()  # a drain waiting on this shard must not hang
+        self.stats.shard_crashes += 1
+        self.obs.metrics.counter("serve.shard_crashes").inc()
+        dead = [f for f in self._flights.values() if f.shard == shard_id]
+        for flight in dead:
+            if not flight.future.done():
+                flight.future.set_exception(ShardDown(shard_id, detail))
+            self._flights.pop(flight.key, None)
+            self._by_seq.pop(flight.seq, None)
+        shard.queue.clear()
+        shard.inflight = 0
+        shard.outstanding = False
+        self._gauge_depth()
+        if not self._flights and self._idle is not None:
+            self._idle.set()

@@ -1,0 +1,315 @@
+"""Deterministic zipfian load generation for the serving layer.
+
+Real study traffic is head-heavy: a few popular configurations draw
+most of the requests while a long tail of variants trickles in — the
+classic zipfian shape of "millions of users" hitting a cached endpoint.
+This module replays exactly that, reproducibly:
+
+- :func:`zipfian_sequence` draws a request sequence from a Zipf(s)
+  distribution using its own arithmetic over ``random.Random(seed)`` —
+  the same seed yields the same sequence on every run, every process,
+  every ``PYTHONHASHSEED``;
+- :func:`default_universe` / :func:`balanced_universe` build families of
+  distinct-key, equal-cost :class:`ExperimentSpec`\\ s (the key knob is a
+  one-cell nudge to the work model's mesh size — enough to change the
+  :func:`~repro.exec.speckey.spec_key`, too small to change the cost);
+- :func:`run_load` fires a mix at any target with an async
+  ``submit(spec)`` — a :class:`~repro.serve.service.StudyService` or a
+  :class:`~repro.serve.cluster.StudyCluster` — under bounded
+  concurrency, retrying backpressure rejections;
+- :func:`scoreboard` turns the outcome into the numbers that matter
+  (throughput, dedupe ratio, p50/p95/p99, per-shard balance) plus a
+  SHA-256 **digest over the deterministic fields only** (universe keys,
+  sequence, response payloads, execution counts — never wall-clock), so
+  two runs of the same seeded mix must report the same digest, and a
+  cluster that matches the single-process service byte-for-byte reports
+  the *same digest as the service*.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import hashlib
+import json
+import random
+import time
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.experiment import ExperimentSpec
+from repro.exec.speckey import spec_key
+from repro.serve.requests import build_spec
+from repro.serve.router import ShardRouter
+from repro.serve.service import Overloaded, ServeStats
+
+#: Retry ceiling for Overloaded rejections before a request is recorded
+#: as an error (the generator paces itself off ``retry_after``).
+MAX_RETRIES = 100
+
+
+def zipfian_sequence(
+    n_items: int, n_requests: int, s: float = 1.1, seed: int = 0
+) -> list[int]:
+    """``n_requests`` item indices drawn i.i.d. from Zipf(``s``).
+
+    Item ``i`` (0-based) has weight ``1 / (i + 1) ** s``; ``s=0`` is
+    uniform, larger ``s`` concentrates traffic on the head.  Sampling is
+    inverse-CDF over ``random.Random(seed).random()`` — no dict/set
+    iteration anywhere, so the sequence is identical across processes
+    and hash seeds.
+    """
+    if n_items < 1:
+        raise ValueError("n_items must be >= 1")
+    if n_requests < 0:
+        raise ValueError("n_requests must be >= 0")
+    if s < 0:
+        raise ValueError("zipf exponent must be >= 0")
+    weights = [1.0 / (i + 1) ** s for i in range(n_items)]
+    total = sum(weights)
+    cdf, acc = [], 0.0
+    for w in weights:
+        acc += w
+        cdf.append(acc / total)
+    cdf[-1] = 1.0  # guard against float drift at the top end
+    rng = random.Random(seed)
+    return [bisect_left(cdf, rng.random()) for _ in range(n_requests)]
+
+
+def default_universe(
+    n: int,
+    fig: str = "fig1",
+    nodes: int = 2,
+    sim_steps: int = 1,
+) -> list[ExperimentSpec]:
+    """``n`` distinct-key, equal-cost specs on one figure shape.
+
+    Each variant nudges the work model's cell count by ``i`` — a new
+    :func:`~repro.exec.speckey.spec_key` per variant, with a cost
+    difference of one part in millions (the simulations stay
+    comparable, which is what a balance measurement needs).
+    """
+    if n < 1:
+        raise ValueError("universe size must be >= 1")
+    base = build_spec(fig, nodes=nodes, sim_steps=sim_steps)
+    out = []
+    for i in range(n):
+        wm = dataclasses.replace(
+            base.workmodel, n_cells=base.workmodel.n_cells + i
+        )
+        out.append(
+            dataclasses.replace(
+                base, name=f"{base.name}-u{i:03d}", workmodel=wm
+            )
+        )
+    return out
+
+
+def balanced_universe(
+    n: int,
+    router: ShardRouter,
+    fig: str = "fig1",
+    nodes: int = 2,
+    sim_steps: int = 1,
+) -> list[ExperimentSpec]:
+    """Like :func:`default_universe`, but the ``n`` variants are chosen
+    (deterministically) so the router spreads them as evenly as shard
+    arithmetic allows — at most a one-spec difference between shards.
+
+    Throughput benchmarks use this: a scaling measurement should gate on
+    serving overhead, not on the luck of one hash draw.  Router balance
+    *in general* is the property tests' job, not the benchmark's.
+    """
+    if n < 1:
+        raise ValueError("universe size must be >= 1")
+    quota = -(-n // router.n_shards)  # ceil
+    counts = [0] * router.n_shards
+    out: list[ExperimentSpec] = []
+    base = build_spec(fig, nodes=nodes, sim_steps=sim_steps)
+    i = 0
+    limit = 1000 * n  # deterministic search, bounded
+    while len(out) < n and i < limit:
+        wm = dataclasses.replace(
+            base.workmodel, n_cells=base.workmodel.n_cells + i
+        )
+        spec = dataclasses.replace(
+            base, name=f"{base.name}-u{i:03d}", workmodel=wm
+        )
+        shard = router.shard_for(spec_key(spec))
+        if counts[shard] < quota:
+            counts[shard] += 1
+            out.append(spec)
+        i += 1
+    if len(out) < n:  # pragma: no cover - would need a pathological ring
+        raise RuntimeError("could not balance the universe; ring too skewed")
+    return out
+
+
+@dataclass(frozen=True)
+class ZipfianMix:
+    """A seeded request mix: the universe plus the drawn sequence."""
+
+    universe: tuple
+    sequence: tuple
+    s: float
+    seed: int
+
+    @classmethod
+    def build(
+        cls,
+        universe: Sequence[ExperimentSpec],
+        n_requests: int,
+        s: float = 1.1,
+        seed: int = 0,
+    ) -> "ZipfianMix":
+        return cls(
+            universe=tuple(universe),
+            sequence=tuple(
+                zipfian_sequence(len(universe), n_requests, s=s, seed=seed)
+            ),
+            s=s,
+            seed=seed,
+        )
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.sequence)
+
+    def distinct_requested(self) -> int:
+        """Unique specs the sequence actually touches (the execution
+        floor for a perfectly deduplicating server)."""
+        return len(set(self.sequence))
+
+    def specs(self) -> list[ExperimentSpec]:
+        return [self.universe[i] for i in self.sequence]
+
+
+@dataclass
+class LoadReport:
+    """What one replay produced: payloads, latencies, wall-clock."""
+
+    mix: ZipfianMix
+    #: Per-request canonical-JSON response payloads ("ERROR:<type>" for
+    #: requests that ultimately failed), in sequence order.
+    payloads: list = field(default_factory=list)
+    latencies: list = field(default_factory=list)
+    elapsed_s: float = 0.0
+    #: Overloaded rejections that were retried (not errors).
+    retries: int = 0
+    errors: int = 0
+
+
+async def run_load(
+    target,
+    mix: ZipfianMix,
+    concurrency: int = 32,
+) -> LoadReport:
+    """Replay ``mix`` against ``target`` (anything with an async
+    ``submit(spec)``), at most ``concurrency`` requests in flight.
+
+    Requests are *issued* in sequence order; completions interleave
+    freely (that is the point of a concurrent replay).  ``Overloaded``
+    rejections wait out ``retry_after`` and retry, up to
+    :data:`MAX_RETRIES` times.
+    """
+    if concurrency < 1:
+        raise ValueError("concurrency must be >= 1")
+    report = LoadReport(mix=mix)
+    report.payloads = [None] * mix.n_requests
+    report.latencies = [None] * mix.n_requests
+    gate = asyncio.Semaphore(concurrency)
+
+    async def one(idx: int, spec: ExperimentSpec) -> None:
+        async with gate:
+            t0 = time.monotonic()
+            for _ in range(MAX_RETRIES):
+                try:
+                    result = await target.submit(spec)
+                    report.payloads[idx] = json.dumps(
+                        result.to_json_dict(), sort_keys=True
+                    )
+                    report.latencies[idx] = time.monotonic() - t0
+                    return
+                except Overloaded as exc:
+                    report.retries += 1
+                    await asyncio.sleep(exc.retry_after)
+                except Exception as exc:
+                    report.payloads[idx] = f"ERROR:{type(exc).__name__}"
+                    report.latencies[idx] = time.monotonic() - t0
+                    report.errors += 1
+                    return
+            report.payloads[idx] = "ERROR:Overloaded"
+            report.latencies[idx] = time.monotonic() - t0
+            report.errors += 1
+
+    t0 = time.monotonic()
+    await asyncio.gather(
+        *(
+            one(idx, mix.universe[item])
+            for idx, item in enumerate(mix.sequence)
+        )
+    )
+    report.elapsed_s = time.monotonic() - t0
+    return report
+
+
+def scoreboard(
+    report: LoadReport,
+    executed: int,
+    per_shard: Optional[Sequence[int]] = None,
+) -> dict:
+    """The replay's scoreboard: throughput, dedupe, tail latency,
+    balance, and the deterministic digest.
+
+    ``executed`` is the number of simulations the target actually ran
+    (executor stats for a service, summed worker stats for a cluster);
+    ``per_shard`` is the cluster's request balance, when there is one.
+    The ``digest`` covers only seed-determined data — universe keys,
+    sequence, response payloads, execution/dedupe counts — so it is
+    invariant across runs, hash seeds, *and* across single-service vs
+    cluster targets when their responses match byte-for-byte.
+    """
+    n = report.mix.n_requests
+    dedupe = n - executed
+    stats = ServeStats(latencies=[x for x in report.latencies if x is not None])
+    deterministic = {
+        "universe_keys": [spec_key(s) for s in report.mix.universe],
+        "zipf_s": report.mix.s,
+        "seed": report.mix.seed,
+        "sequence": list(report.mix.sequence),
+        "responses": [
+            hashlib.sha256(p.encode("utf-8")).hexdigest()
+            if p is not None
+            else "MISSING"
+            for p in report.payloads
+        ],
+        "executed": executed,
+        "dedupe": dedupe,
+        "errors": report.errors,
+    }
+    digest = hashlib.sha256(
+        json.dumps(deterministic, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+    out = {
+        "requests": n,
+        "universe": len(report.mix.universe),
+        "distinct_requested": report.mix.distinct_requested(),
+        "executed": executed,
+        "dedupe": dedupe,
+        "dedupe_ratio": (dedupe / n) if n else 0.0,
+        "errors": report.errors,
+        "retries": report.retries,
+        "elapsed_s": report.elapsed_s,
+        "throughput_rps": (n / report.elapsed_s) if report.elapsed_s else 0.0,
+        "latency": stats.latency_summary(),
+        "digest": digest,
+    }
+    if per_shard is not None:
+        per_shard = list(per_shard)
+        low = min(per_shard) if per_shard else 0
+        out["requests_by_shard"] = per_shard
+        out["balance_ratio"] = (
+            (max(per_shard) / low) if low else float("inf")
+        )
+    return out

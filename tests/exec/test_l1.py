@@ -1,0 +1,92 @@
+"""The executor's in-memory L1 result memo.
+
+The L1 is what makes repeated serving of an already-computed spec cost
+one dict lookup: lookup order is checkpoint -> L1 -> on-disk cache (L2)
+-> execute, L2 hits are promoted into the L1, and failures are never
+memoised (a retried spec must re-execute).
+"""
+
+import dataclasses
+
+import pytest
+
+import repro.exec.executor as executor_mod
+from repro.exec import ExperimentExecutor, FailedPoint
+from tests.exec.test_executor import make_specs
+
+
+def test_l1_off_by_default():
+    assert ExperimentExecutor(workers=1).l1 is None
+    assert ExperimentExecutor(workers=1, l1=True).l1 == {}
+
+
+def test_repeat_run_hits_l1_not_the_simulator():
+    ex = ExperimentExecutor(workers=1, l1=True)
+    spec = make_specs((2,))[0]
+    first = ex.run_many([spec])[0]
+    assert ex.stats.executed == 1 and ex.stats.l1_hits == 0
+    second = ex.run_many([spec])[0]
+    assert ex.stats.executed == 1  # no second simulation
+    assert ex.stats.l1_hits == 1
+    assert second.to_json_dict() == first.to_json_dict()
+    assert "l1_hits" in ex.stats.as_dict()
+
+
+def test_duplicate_specs_in_one_batch_memoise_after_first():
+    ex = ExperimentExecutor(workers=1, l1=True)
+    spec = make_specs((2,))[0]
+    a, b = ex.run_many([spec, spec])
+    # Both requests resolve; at most one simulation is charged to the
+    # batch (the second either deduped in-batch or hit the fresh L1).
+    assert a.to_json_dict() == b.to_json_dict()
+    assert ex.stats.executed <= 2
+    again = ex.run_many([spec])[0]
+    assert ex.stats.l1_hits >= 1
+    assert again.to_json_dict() == a.to_json_dict()
+
+
+def test_l2_hits_promote_into_l1(tmp_path):
+    spec = make_specs((2,))[0]
+    warm = ExperimentExecutor(workers=1, cache=True, cache_dir=tmp_path)
+    warm.run_many([spec])
+
+    ex = ExperimentExecutor(
+        workers=1, cache=True, cache_dir=tmp_path, l1=True
+    )
+    ex.run_many([spec])
+    assert ex.stats.hits == 1  # served from L2
+    assert ex.stats.executed == 0
+    ex.run_many([spec])
+    assert ex.stats.l1_hits == 1  # second repeat never touches the disk
+    assert ex.stats.hits == 1
+
+
+def test_l1_hit_carries_the_callers_spec_name():
+    ex = ExperimentExecutor(workers=1, l1=True)
+    spec = make_specs((2,))[0]
+    alias = dataclasses.replace(spec, name="exec-2n-alias")
+    ex.run_many([spec])
+    hit = ex.run_many([alias])[0]
+    assert ex.stats.l1_hits == 1
+    assert hit.spec_name == "exec-2n-alias"
+
+
+def _always_fail(spec, with_obs):
+    raise ValueError("synthetic deterministic failure")
+
+
+def test_failures_are_never_memoised(monkeypatch):
+    spec = make_specs((2,))[0]
+    ex = ExperimentExecutor(
+        workers=1, l1=True, keep_going=True, max_retries=0
+    )
+    monkeypatch.setattr(executor_mod, "_execute_spec", _always_fail)
+    failed = ex.run_many([spec])[0]
+    assert isinstance(failed, FailedPoint)
+    assert ex.l1 == {}  # nothing cached for the failed key
+    assert ex.stats.failures == 1
+    monkeypatch.undo()
+    recovered = ex.run_many([spec])[0]  # the retry really re-executes
+    assert not isinstance(recovered, FailedPoint)
+    assert ex.stats.l1_hits == 0  # served by a real run, not the memo
+    assert ex.l1  # and the success is memoised now

@@ -138,3 +138,46 @@ def test_registry_to_dict_sorted_and_stable():
     dump = reg.to_dict()
     assert list(dump) == ["alpha", "zeta"]
     assert dump["zeta"]["value"] == 1
+
+
+def test_registry_round_trips_through_a_dict_dump():
+    a = MetricsRegistry()
+    a.counter("c").inc(5)
+    g = a.gauge("g")
+    g.set(9.0)
+    g.set(2.0)  # extrema: min 2, max 9, value 2
+    h = a.histogram("h", bounds=(0.1, 1.0))
+    h.observe(0.05)
+    h.observe(0.5)
+    rebuilt = MetricsRegistry.from_dict(a.to_dict())
+    assert rebuilt.to_dict() == a.to_dict()
+    assert rebuilt.counter("c").value == 5
+    assert rebuilt.gauge("g").min == 2.0
+    assert rebuilt.gauge("g").max == 9.0
+    assert rebuilt.get("h").counts == [1, 1, 0]
+
+
+def test_merge_dict_is_merge_of_the_rebuilt_registry():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.counter("c").inc(1)
+    b.counter("c").inc(3)
+    b.gauge("g").set(7.0)
+    a.merge_dict(b.to_dict())
+    assert a.counter("c").value == 4
+    assert a.gauge("g").value == 7.0
+
+
+def test_from_dict_rejects_malformed_dumps():
+    with pytest.raises(MetricError):
+        MetricsRegistry.from_dict("not-a-dict")
+    with pytest.raises(MetricError):
+        MetricsRegistry.from_dict({"x": {"value": 1}})  # no kind
+    with pytest.raises(MetricError):
+        MetricsRegistry.from_dict({"x": {"kind": "thermometer"}})
+    with pytest.raises(MetricError):
+        MetricsRegistry.from_dict({"x": {"kind": "counter"}})  # no value
+    with pytest.raises(MetricError):
+        MetricsRegistry.from_dict(
+            {"h": {"kind": "histogram", "bounds": [1.0], "counts": [1],
+                   "count": 1, "sum": 0.5}}  # 1 bucket for 1 bound: need 2
+        )

@@ -67,12 +67,99 @@ def test_bad_script_is_a_usage_error(tmp_path, capsys):
     assert main(["--script", str(tmp_path / "missing.json")]) == 2
 
 
+def test_script_path_errors_exit_2_with_one_line_message(tmp_path, capsys):
+    """Every way a --script path can be wrong is a usage error: exit 2
+    and a single explanatory stderr line, never a traceback."""
+    cases = {
+        "missing": str(tmp_path / "nope.json"),
+        "directory": str(tmp_path),
+    }
+    binary = tmp_path / "binary.json"
+    binary.write_bytes(b"\xff\xfe\x00broken")
+    cases["non-utf8"] = str(binary)
+    for label, path in cases.items():
+        assert main(["--script", path]) == 2, label
+        err = capsys.readouterr().err
+        lines = [ln for ln in err.splitlines() if ln]
+        assert len(lines) == 1, (label, err)
+        assert lines[0].startswith("error: bad request script"), label
+        assert "Traceback" not in err, label
+
+
+def test_unwritable_json_report_exits_2(tmp_path, capsys):
+    script = tmp_path / "ok.json"
+    script.write_text(json.dumps([{"fig": "fig3", "nodes": 4, "count": 2}]))
+    bad_out = tmp_path / "no-such-dir" / "report.json"
+    assert main(["--script", str(script), "--json", str(bad_out)]) == 2
+    assert "cannot write --json report" in capsys.readouterr().err
+
+
+def test_zipf_mode_scoreboard_and_checks(capsys):
+    rc = main([
+        "--zipf", "1.1", "--requests", "20", "--universe", "4",
+        "--seed", "7", "--fig", "fig3", "--nodes", "4",
+        "--expect-max-executed", "4", "--expect-dedupe", "16",
+    ])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "zipf(s=1.1)" in out
+    assert "digest" in out
+    assert "L1 hits (in-memory)" in out
+
+
+def test_zipf_mode_through_a_cluster(tmp_path, capsys):
+    report = tmp_path / "report.json"
+    rc = main([
+        "--zipf", "1.1", "--requests", "16", "--universe", "4",
+        "--seed", "7", "--fig", "fig3", "--nodes", "4", "--shards", "2",
+        "--json", str(report),
+        "--expect-max-executed", "4", "--expect-dedupe", "12",
+    ])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "requests by shard" in out
+    payload = json.loads(report.read_text())
+    assert payload["scoreboard"]["executed"] <= 4
+    assert payload["serve"]["shards"] == 2
+    assert sum(payload["serve"]["requests_by_shard"]) == 16
+
+
+def test_zipf_digest_is_seed_stable(tmp_path):
+    boards = []
+    for run in range(2):
+        report = tmp_path / f"r{run}.json"
+        assert main([
+            "--zipf", "1.1", "--requests", "12", "--universe", "3",
+            "--seed", "42", "--fig", "fig3", "--nodes", "4",
+            "--json", str(report),
+        ]) == 0
+        boards.append(json.loads(report.read_text())["scoreboard"])
+    assert boards[0]["digest"] == boards[1]["digest"]
+    assert boards[0]["sequence" if "sequence" in boards[0] else "requests"] \
+        == boards[1]["sequence" if "sequence" in boards[1] else "requests"]
+
+
+def test_zipf_validation_and_mode_exclusivity(capsys):
+    assert main(["--zipf", "1.1", "--burst", "4"]) == 2
+    assert main(["--zipf", "-0.5"]) == 2
+    assert main(["--zipf", "1.1", "--requests", "0"]) == 2
+    assert main(["--burst", "4", "--shards", "-1"]) == 2
+    capsys.readouterr()
+
+
 def test_parser_defaults():
     args = build_parser().parse_args(["--burst", "4"])
     assert args.max_pending == 64
     assert args.max_batch == 16
     assert args.workers == 1
     assert args.cache is False
+    assert args.shards == 0
+    assert args.zipf is None
+    assert args.requests == 64
+    assert args.universe == 8
+    assert args.seed == 0
+    assert args.concurrency == 32
+    assert args.l1 is None
 
 
 def test_request_dialect_strictness():

@@ -1,0 +1,184 @@
+"""Determinism and shape of the zipfian load generator.
+
+Two layers of evidence, mirroring ``tests/obs/test_determinism.py``:
+
+- in-process: the same seed yields the same request sequence and the
+  same scoreboard digest on every call, different seeds diverge, and
+  the digest ignores wall-clock fields entirely;
+- cross-process: sequence and digest survive ``PYTHONHASHSEED``
+  variation — nothing in the generator or the scoreboard leaks dict/set
+  iteration order.
+
+Plus distribution sanity (zipf head-heaviness, uniform at s=0) and the
+universe builders' contracts (distinct keys, equal cost, balance).
+"""
+
+import json
+import os
+import subprocess
+import sys
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.exec import spec_key
+from repro.serve import (
+    ShardRouter,
+    ZipfianMix,
+    balanced_universe,
+    default_universe,
+    scoreboard,
+    zipfian_sequence,
+)
+from repro.serve.loadgen import LoadReport
+
+SRC_ROOT = Path(repro.__file__).resolve().parents[1]
+
+
+# ------------------------------ the sequence ---------------------------------
+
+
+def test_same_seed_same_sequence():
+    a = zipfian_sequence(16, 200, s=1.1, seed=42)
+    b = zipfian_sequence(16, 200, s=1.1, seed=42)
+    assert a == b
+    assert len(a) == 200
+    assert all(0 <= i < 16 for i in a)
+
+
+def test_different_seeds_diverge():
+    assert zipfian_sequence(16, 200, seed=1) != zipfian_sequence(
+        16, 200, seed=2
+    )
+
+
+def test_zipf_is_head_heavy_and_s0_is_uniform():
+    head = Counter(zipfian_sequence(10, 5000, s=1.5, seed=0))
+    assert head[0] > head.get(9, 0) * 3  # item 0 dominates the tail
+    flat = Counter(zipfian_sequence(10, 5000, s=0.0, seed=0))
+    assert max(flat.values()) < 2 * min(flat.values())
+
+
+def test_sequence_validation():
+    with pytest.raises(ValueError):
+        zipfian_sequence(0, 10)
+    with pytest.raises(ValueError):
+        zipfian_sequence(4, -1)
+    with pytest.raises(ValueError):
+        zipfian_sequence(4, 10, s=-0.1)
+    assert zipfian_sequence(4, 0) == []
+
+
+# ---------------------------- the universes ----------------------------------
+
+
+def test_default_universe_distinct_keys_equal_cost():
+    universe = default_universe(12, fig="fig3", nodes=4)
+    keys = [spec_key(s) for s in universe]
+    assert len(set(keys)) == 12  # all distinct
+    names = [s.name for s in universe]
+    assert len(set(names)) == 12
+    cells = [s.workmodel.n_cells for s in universe]
+    assert max(cells) - min(cells) == 11  # one-cell nudges only
+    with pytest.raises(ValueError):
+        default_universe(0)
+
+
+def test_balanced_universe_spreads_evenly():
+    router = ShardRouter(4)
+    universe = balanced_universe(16, router, fig="fig1", nodes=2)
+    counts = Counter(router.shard_for(spec_key(s)) for s in universe)
+    assert sorted(counts.values()) == [4, 4, 4, 4]
+    assert len({spec_key(s) for s in universe}) == 16
+
+
+# ---------------------------- the scoreboard ---------------------------------
+
+
+def _mix():
+    return ZipfianMix.build(
+        default_universe(6, fig="fig3", nodes=4),
+        n_requests=30, s=1.1, seed=7,
+    )
+
+
+def _report(mix, elapsed=1.0):
+    """A synthetic replay outcome (payloads stand in for responses)."""
+    report = LoadReport(mix=mix)
+    report.payloads = [f"payload-for-item-{i}" for i in mix.sequence]
+    report.latencies = [0.01] * mix.n_requests
+    report.elapsed_s = elapsed
+    return report
+
+
+def test_scoreboard_digest_is_reproducible_and_ignores_wallclock():
+    mix = _mix()
+    fast = scoreboard(_report(mix, elapsed=0.5), executed=6)
+    slow = scoreboard(_report(mix, elapsed=50.0), executed=6)
+    assert fast["digest"] == slow["digest"]  # wall-clock is not hashed
+    assert fast["throughput_rps"] != slow["throughput_rps"]
+    assert fast["dedupe"] == 30 - 6
+    assert fast["distinct_requested"] == mix.distinct_requested()
+
+
+def test_scoreboard_digest_covers_responses_and_counts():
+    mix = _mix()
+    base = scoreboard(_report(mix), executed=6)
+    tampered = _report(mix)
+    tampered.payloads[3] = "a-different-response"
+    assert scoreboard(tampered, executed=6)["digest"] != base["digest"]
+    assert scoreboard(_report(mix), executed=5)["digest"] != base["digest"]
+
+
+def test_scoreboard_balance_view():
+    board = scoreboard(_report(_mix()), executed=6, per_shard=[10, 20])
+    assert board["requests_by_shard"] == [10, 20]
+    assert board["balance_ratio"] == 2.0
+    starved = scoreboard(_report(_mix()), executed=6, per_shard=[0, 30])
+    assert starved["balance_ratio"] == float("inf")
+
+
+# --------------------------- cross-process digest ----------------------------
+
+_CHILD = """
+import json, sys
+from repro.serve import ZipfianMix, default_universe, scoreboard, \\
+    zipfian_sequence
+from repro.serve.loadgen import LoadReport
+
+mix = ZipfianMix.build(
+    default_universe(6, fig="fig3", nodes=4), n_requests=30, s=1.1, seed=7
+)
+report = LoadReport(mix=mix)
+report.payloads = [f"payload-for-item-{i}" for i in mix.sequence]
+report.latencies = [0.01] * mix.n_requests
+report.elapsed_s = 1.0
+board = scoreboard(report, executed=6)
+json.dump(
+    {"sequence": list(mix.sequence), "digest": board["digest"]}, sys.stdout
+)
+"""
+
+
+def _board_with_hashseed(seed: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = seed
+    env["PYTHONPATH"] = str(SRC_ROOT)
+    out = subprocess.run(
+        [sys.executable, "-c", _CHILD],
+        capture_output=True, text=True, env=env, check=True,
+    )
+    return json.loads(out.stdout)
+
+
+def test_sequence_and_digest_survive_hashseed_variation():
+    a = _board_with_hashseed("0")
+    b = _board_with_hashseed("12345")
+    assert a["sequence"] == b["sequence"]
+    assert a["digest"] == b["digest"]
+    # And the parent process (whatever its own hash seed) agrees too.
+    mix = _mix()
+    assert list(mix.sequence) == a["sequence"]
+    assert scoreboard(_report(mix), executed=6)["digest"] == a["digest"]
