@@ -23,6 +23,7 @@ import math
 from dataclasses import dataclass, field
 
 from repro.alya.workmodel import AlyaWorkModel, CaseKind
+from repro.des.events import JoinAll
 from repro.hardware.network import SHM_LATENCY
 from repro.mpi import collectives
 from repro.mpi.comm import SimComm
@@ -242,7 +243,7 @@ class SimulatedAlya:
         """Concurrent sendrecv with every neighbour (generator)."""
         events = self._post_halo(comm, ep, op, nbytes)
         if events:
-            yield comm.env.all_of(events)
+            yield JoinAll(comm.env, events)
 
     # -- the SPMD program --------------------------------------------------------------
     def rank_body(self, comm: SimComm, ep: int):
@@ -288,7 +289,7 @@ class SimulatedAlya:
                 mark("compute", t)
                 t = env.now
                 if pending:
-                    yield env.all_of(pending)
+                    yield JoinAll(env, pending)
                 phases.halo += env.now - t
                 mark("halo", t)
             else:
@@ -446,7 +447,7 @@ class TwoCodeFsiAlya:
                             )
                         )
                 if events:
-                    yield env.all_of(events)
+                    yield JoinAll(env, events)
                 for it in range(work.cg_iters_per_step):
                     yield from collectives.allreduce(
                         fluid, g_rank, op=base + _OP_ALLREDUCE + it, nbytes=16.0

@@ -1,18 +1,23 @@
 """The DES event loop and generator-based processes.
 
-The :class:`Environment` keeps a priority queue of triggered events keyed by
-``(time, seq)``; :meth:`Environment.run` pops events in order, executes
-their callbacks, and thereby resumes any :class:`Process` waiting on them.
-Determinism: two events scheduled for the same time fire in scheduling
-order (FIFO), which makes every simulation in this package reproducible.
+The :class:`Environment` keeps its future events in an array-backed
+calendar-queue wheel (:class:`repro.des.wheel.EventWheel`) keyed by
+``(time, seq)``, plus a FIFO *now-ring* for events triggered at the
+current instant; :meth:`Environment.run` pops events in order, executes
+their callbacks, and thereby resumes any :class:`Process` waiting on
+them.  Determinism: two events scheduled for the same time fire in
+scheduling order (FIFO), which makes every simulation in this package
+reproducible — the wheel's pop discipline is property-tested against a
+binary-heap reference model in ``tests/des/test_wheel.py``.
 """
 
 from __future__ import annotations
 
-import heapq
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.des.events import AllOf, AnyOf, Event, Timeout
+from repro.des.wheel import EventWheel
 
 
 class SimulationError(RuntimeError):
@@ -117,11 +122,11 @@ class Process(Event):
     def _resume(self, by: Event) -> None:
         self._waiting_on = None
         try:
-            if by.ok:
-                target = self._generator.send(by.value)
+            if by._ok:
+                target = self._generator.send(by._value)
             else:
-                by.defuse()
-                target = self._generator.throw(by.value)
+                by._defused = True
+                target = self._generator.throw(by._value)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
@@ -141,16 +146,17 @@ class Process(Event):
             self.fail(SimulationError("yielded event from a different environment"))
             return
         self._waiting_on = target
-        if target.processed:
+        cbs = target.callbacks
+        if cbs is None:  # already processed
             # Event already over: resume on a fresh immediate event carrying
             # the same outcome, preserving run-to-yield semantics.
             relay = Event(self.env)
-            relay._ok = target.ok
+            relay._ok = target._ok
             relay._value = target._value
             self.env._schedule(relay)
             relay.callbacks.append(self._resume)
         else:
-            target.callbacks.append(self._resume)
+            cbs.append(self._resume)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Process {self.name!r} alive={self.is_alive}>"
@@ -167,8 +173,14 @@ class Environment:
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
-        self._queue: list[tuple[float, int, Event]] = []
-        self._seq = 0
+        #: Future events: the calendar-queue wheel (strictly later than
+        #: ``now``; assigns the FIFO tie-break sequence numbers).
+        self._wheel = EventWheel()
+        #: Events due at the current instant, in trigger order.  Ring
+        #: entries always precede any *later* wheel entry and follow any
+        #: wheel entry already due at ``now`` (scheduled while ``now``
+        #: was smaller) — see :meth:`step`.
+        self._ring = deque()
         self._active = True
         self._step_hook: Optional[Callable[[Event, float], None]] = None
         #: Events executed by this environment since creation.  Counted
@@ -223,8 +235,16 @@ class Environment:
 
     # -- scheduling ------------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
-        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
-        self._seq += 1
+        if delay < 0.0:
+            # Symmetric with _schedule_at's past-time check: a negative
+            # delay would silently schedule into the past and break the
+            # monotonic-clock invariant every component relies on.
+            raise ValueError(f"negative delay {delay} (now={self._now})")
+        when = self._now + delay
+        if when <= self._now:
+            self._ring.append(event)
+        else:
+            self._wheel.push(when, event)
 
     def _schedule_at(self, event: Event, when: float) -> None:
         """Schedule ``event`` at the absolute time ``when``.
@@ -235,25 +255,49 @@ class Environment:
         """
         if when < self._now:
             raise ValueError(f"when={when} is in the past (now={self._now})")
-        heapq.heappush(self._queue, (when, self._seq, event))
-        self._seq += 1
+        if when <= self._now:
+            self._ring.append(event)
+        else:
+            self._wheel.push(when, event)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        when = self._wheel.peek_time()
+        if when <= self._now:
+            return when
+        if self._ring:
+            return self._now
+        return when
 
     def step(self) -> None:
-        """Process the next scheduled event."""
-        if not self._queue:
+        """Process the next scheduled event.
+
+        Pop discipline: wheel entries already due at ``now`` fire first
+        (they were scheduled before the clock reached them, so they
+        precede every ring entry in scheduling order), then the now-ring
+        FIFO, then the clock advances to the earliest wheel entry.
+        """
+        wheel = self._wheel
+        when = wheel.peek_time()
+        if when <= self._now:
+            _, event = wheel.pop()
+        elif self._ring:
+            event = self._ring.popleft()
+        elif when != float("inf"):
+            when, event = wheel.pop()
+            self._now = when
+        else:
             raise SimulationError("step() on an empty event queue")
-        when, _, event = heapq.heappop(self._queue)
-        self._now = when
         self.events_executed += 1
         if self._step_hook is not None:
-            self._step_hook(event, when)
+            self._step_hook(event, self._now)
         callbacks = event.callbacks
         event.callbacks = None
-        assert callbacks is not None
+        if callbacks is None:
+            raise SimulationError(
+                f"{event!r} dispatched twice (scheduled again after it "
+                "was already processed?)"
+            )
         if len(callbacks) == 1:
             # Fast path: the overwhelmingly common single-callback event
             # (timeouts, delivery-chain stages) skips the loop setup.
@@ -272,11 +316,18 @@ class Environment:
         property-based error check, no single-callback fast path.  Kept
         (behind :func:`set_legacy_step_loop`) so the hot-path benchmark's
         baseline arm reproduces the pre-optimisation loop faithfully."""
-        when, _, event = heapq.heappop(self._queue)
-        self._now = when
+        wheel = self._wheel
+        when = wheel.peek_time()
+        if when <= self._now:
+            _, event = wheel.pop()
+        elif self._ring:
+            event = self._ring.popleft()
+        else:
+            when, event = wheel.pop()
+            self._now = when
         self.events_executed += 1
         if self._step_hook is not None:
-            self._step_hook(event, when)
+            self._step_hook(event, self._now)
         callbacks = event.callbacks
         event.callbacks = None
         assert callbacks is not None
@@ -308,12 +359,16 @@ class Environment:
                 raise ValueError(f"until={stop_time} is in the past (now={self._now})")
         if stop_event is None and stop_time == float("inf"):
             if _LEGACY_STEP_LOOP:
-                while self._queue:
+                while self._wheel or self._ring:
                     self._step_legacy()
                 return None
             self._drain()
             return None
-        while self._queue:
+        # Bounded runs honour the legacy toggle too: the benchmark's
+        # baseline arm must take the seed's step body on every path, not
+        # just the unbounded drain.
+        step = self._step_legacy if _LEGACY_STEP_LOOP else self.step
+        while self._wheel or self._ring:
             if stop_event is not None and stop_event.processed:
                 if not stop_event.ok:
                     stop_event.defuse()
@@ -322,7 +377,7 @@ class Environment:
             if self.peek() > stop_time:
                 self._now = stop_time
                 return None
-            self.step()
+            step()
         if stop_event is not None:
             if stop_event.processed:
                 if not stop_event.ok:
@@ -344,18 +399,41 @@ class Environment:
         loop of every simulation (hundreds of thousands of iterations for
         the paper-scale runs).
         """
-        queue = self._queue
-        pop = heapq.heappop
+        wheel = self._wheel
+        ring = self._ring
+        ring_pop = ring.popleft
+        ring_append = ring.append
+        wheel_pop_batch = wheel.pop_batch
+        # The hook is installed before run() (Observability.bind) and
+        # never swapped mid-drain; binding it once removes an attribute
+        # load per event.
+        hook = self._step_hook
         executed = 0
         try:
-            while queue:
-                when, _, event = pop(queue)
-                self._now = when
+            while True:
+                if ring:
+                    event = ring_pop()
+                elif wheel._size:
+                    # Ring empty: advance the clock and promote the whole
+                    # earliest-timestamp group out of the wheel in one
+                    # call.  The group lands ahead of anything its
+                    # callbacks append (wheel pushes are strictly future,
+                    # so no *new* entry can join the group mid-dispatch),
+                    # which is exactly scheduling order.
+                    self._now = wheel_pop_batch(ring_append)
+                    continue
+                else:
+                    break
                 executed += 1
-                if self._step_hook is not None:
-                    self._step_hook(event, when)
+                if hook is not None:
+                    hook(event, self._now)
                 callbacks = event.callbacks
                 event.callbacks = None
+                if callbacks is None:
+                    raise SimulationError(
+                        f"{event!r} dispatched twice (scheduled again "
+                        "after it was already processed?)"
+                    )
                 if len(callbacks) == 1:
                     callbacks[0](event)
                 else:

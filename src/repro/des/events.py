@@ -9,7 +9,6 @@ throws the event's exception into the generator if the event failed.
 
 from __future__ import annotations
 
-from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -69,10 +68,10 @@ class Event:
         self._value = value
         # Inlined env._schedule(self): succeed() runs once per message
         # delivery / receive match, making this the busiest scheduling
-        # call site in the simulator.
-        env = self.env
-        heappush(env._queue, (env._now, env._seq, self))
-        env._seq += 1
+        # call site in the simulator.  A triggered event always fires at
+        # the current instant, so it goes straight onto the now-ring — a
+        # plain append, no heap entry, no sequence number.
+        self.env._ring.append(self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -189,6 +188,49 @@ class AllOf(ConditionEvent):
 
     def _check(self) -> bool:
         return self._remaining == 0
+
+
+class JoinAll(Event):
+    """Fires when every child event has fired — :class:`AllOf` without
+    the per-child results dict, for callers that only need the barrier.
+
+    The value is always ``None``.  Failure semantics mirror
+    :class:`AllOf`: the first failing child fails the join with its
+    exception (defusing the child); later failures are defused silently.
+    Children must belong to the same environment (not validated — this
+    is an engine-internal hot-path join; use :meth:`Environment.all_of`
+    at API boundaries).
+    """
+
+    __slots__ = ("_remaining",)
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        events = tuple(events)
+        self._remaining = len(events)
+        if not events:
+            self.succeed(None)
+            return
+        fired = self._child_fired
+        for ev in events:
+            if ev.callbacks is None:
+                fired(ev)
+            else:
+                ev.callbacks.append(fired)
+
+    def _child_fired(self, ev: Event) -> None:
+        if self._value is not PENDING:
+            if not ev._ok:
+                ev.defuse()
+            return
+        if not ev._ok:
+            ev.defuse()
+            self.fail(ev._value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self._value = None
+            self.env._ring.append(self)
 
 
 class AnyOf(ConditionEvent):

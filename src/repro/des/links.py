@@ -14,8 +14,6 @@ bottlenecks once many MPI ranks communicate at once (paper Fig. 1).
 
 from __future__ import annotations
 
-import heapq
-import itertools
 import math
 from typing import TYPE_CHECKING, Optional  # noqa: F401
 
@@ -40,19 +38,6 @@ def set_legacy_wakes(legacy: bool) -> None:
     """Toggle seed-style allocating wake-ups (see :data:`_LEGACY_WAKES`)."""
     global _LEGACY_WAKES
     _LEGACY_WAKES = bool(legacy)
-
-
-class _Flow:
-    __slots__ = ("flow_id", "remaining", "notify", "nbytes")
-
-    def __init__(self, flow_id: int, nbytes: float, notify) -> None:
-        self.flow_id = flow_id
-        self.remaining = float(nbytes)
-        self.nbytes = float(nbytes)
-        #: Zero-argument callable invoked on completion — ``Event.succeed``
-        #: for the event-returning API, or a caller callback for
-        #: :meth:`FairShareLink.transfer_cb`.
-        self.notify = notify
 
 
 class _Gate(Event):
@@ -136,8 +121,14 @@ class FairShareLink:
         self.latency = float(latency)
         self.per_byte_overhead = float(per_byte_overhead)
         self.name = name or "link"
-        self._flows: dict[int, _Flow] = {}
-        self._ids = itertools.count()
+        # Active flows as struct-of-arrays: parallel lists in admission
+        # order.  ``_f_remaining[i]`` is flow i's residual wire bytes and
+        # ``_f_notify[i]`` its zero-argument completion callable
+        # (``Event.succeed`` for the event API, a caller callback for
+        # :meth:`transfer_cb`).  The fluid drain then becomes one list
+        # comprehension per settle instead of an attribute store per flow.
+        self._f_remaining: list[float] = []
+        self._f_notify: list = []
         self._last_update = env.now
         self._wake_gen = 0
         self._wake_pool: list[_Wake] = []
@@ -152,7 +143,7 @@ class FairShareLink:
     @property
     def active_flows(self) -> int:
         """Number of transfers currently sharing the link."""
-        return len(self._flows)
+        return len(self._f_remaining)
 
     def transfer(self, nbytes: float) -> Event:
         """Start a transfer of ``nbytes``; the event fires on completion."""
@@ -190,16 +181,17 @@ class FairShareLink:
             gate.notify = notify
             gate.callbacks = gate._cbs
             env = self.env  # inlined env._schedule(gate, latency)
-            heapq.heappush(
-                env._queue, (env._now + self.latency, env._seq, gate)
-            )
-            env._seq += 1
+            when = env._now + self.latency
+            if when <= env._now:
+                env._ring.append(gate)
+            else:
+                env._wheel.push(when, gate)
         else:
             self._admit(wire_bytes, notify)
 
     def instantaneous_rate(self) -> float:
         """Per-flow rate right now (bytes/s); full bandwidth when idle."""
-        n = max(1, len(self._flows))
+        n = max(1, len(self._f_remaining))
         return self.bandwidth / n
 
     def set_bandwidth_factor(self, factor: float) -> None:
@@ -223,49 +215,48 @@ class FairShareLink:
     # -- internals ------------------------------------------------------------
     def _admit(self, wire_bytes: float, notify) -> None:
         # _advance() inlined: admits outnumber every other link operation.
-        now = self.env.now
+        now = self.env._now
         elapsed = now - self._last_update
         self._last_update = now
-        flows = self._flows
-        if elapsed > 0 and flows:
-            rate = self.bandwidth / len(flows)
-            drained = rate * elapsed
-            for f in flows.values():
-                f.remaining -= drained
+        rem = self._f_remaining
+        if elapsed > 0 and rem:
+            drained = (self.bandwidth / len(rem)) * elapsed
+            self._f_remaining = rem = [r - drained for r in rem]
             self._min_remaining -= drained
         if wire_bytes <= _EPS_BYTES:
             notify()
             return
-        flow = _Flow(next(self._ids), wire_bytes, notify)
-        self._flows[flow.flow_id] = flow
+        rem.append(wire_bytes)
+        self._f_notify.append(notify)
         if wire_bytes < self._min_remaining:
             self._min_remaining = wire_bytes
         self.bytes_carried += wire_bytes
-        self.peak_concurrency = max(self.peak_concurrency, len(self._flows))
+        if len(rem) > self.peak_concurrency:
+            self.peak_concurrency = len(rem)
         self._reschedule()
 
     def _advance(self) -> None:
         """Progress all flows from the last update time to ``env.now``."""
-        now = self.env.now
+        now = self.env._now
         elapsed = now - self._last_update
         self._last_update = now
-        if elapsed <= 0 or not self._flows:
+        rem = self._f_remaining
+        if elapsed <= 0 or not rem:
             return
-        rate = self.bandwidth / len(self._flows)
-        drained = rate * elapsed
-        for flow in self._flows.values():
-            flow.remaining -= drained
+        drained = (self.bandwidth / len(rem)) * elapsed
         # IEEE rounding is monotone (a <= b implies fl(a-d) <= fl(b-d)),
         # so the minimum of the updated residuals is exactly the updated
         # minimum — the cache tracks the same subtraction bit for bit.
+        self._f_remaining = [r - drained for r in rem]
         self._min_remaining -= drained
 
     def _reschedule(self) -> None:
         """Schedule a wake-up at the next flow completion."""
         self._wake_gen += 1
-        if not self._flows:
+        rem = self._f_remaining
+        if not rem:
             return
-        rate = self.bandwidth / len(self._flows)
+        rate = self.bandwidth / len(rem)
         if rate <= 0:
             # Partitioned link: flows freeze where they are.  The gen
             # bump above already invalidated any in-flight wake; the
@@ -275,19 +266,24 @@ class FairShareLink:
             # Seed-faithful baseline: rescan for the minimum (the cache
             # holds the same value bit for bit) and allocate the wake.
             gen = self._wake_gen
-            min_remaining = min(f.remaining for f in self._flows.values())
+            min_remaining = min(rem)
             dt = max(0.0, min_remaining / rate)
             wake = self.env.timeout(dt)
             wake.callbacks.append(lambda _ev: self._on_wake_gen(gen))
             return
-        dt = max(0.0, self._min_remaining / rate)
+        dt = self._min_remaining / rate
+        if dt < 0.0:
+            dt = 0.0
         pool = self._wake_pool
         wake = pool.pop() if pool else _Wake(self)
         wake.gen = self._wake_gen
         wake.callbacks = wake._cbs
         env = self.env  # inlined env._schedule(wake, dt)
-        heapq.heappush(env._queue, (env._now + dt, env._seq, wake))
-        env._seq += 1
+        when = env._now + dt
+        if when <= env._now:
+            env._ring.append(wake)
+        else:
+            env._wheel.push(when, wake)
 
     def _on_gate(self, gate: _Gate) -> None:
         notify = gate.notify
@@ -311,21 +307,41 @@ class FairShareLink:
         # residual *time* is below the clock's floating-point resolution
         # must finish now — otherwise the wake fires at an unchanged
         # timestamp, _advance() drains nothing, and the link livelocks.
-        rate = self.bandwidth / max(1, len(self._flows))
-        ulp = math.ulp(self.env.now) if self.env.now > 0 else 1e-18
-        threshold = max(_EPS_BYTES, rate * 4.0 * ulp)
-        finished = [f for f in self._flows.values() if f.remaining <= threshold]
-        for flow in finished:
-            del self._flows[flow.flow_id]
-        if finished:
-            flows = self._flows
-            self._min_remaining = (
-                min(f.remaining for f in flows.values())
-                if flows
-                else math.inf
-            )
-        for flow in finished:
-            flow.notify()
+        rem = self._f_remaining
+        n = len(rem)
+        rate = self.bandwidth / n if n else self.bandwidth
+        now = self.env._now
+        ulp = math.ulp(now) if now > 0 else 1e-18
+        threshold = rate * 4.0 * ulp
+        if threshold < _EPS_BYTES:
+            threshold = _EPS_BYTES
+        notify = self._f_notify
+        if n == 1 and rem[0] <= threshold:
+            # The common wake: the only active flow finishing.
+            cb = notify[0]
+            del rem[0]
+            del notify[0]
+            self._min_remaining = math.inf
+            cb()
+            self._reschedule()
+            return
+        if self._min_remaining <= threshold:
+            keep_r: list[float] = []
+            keep_n: list = []
+            done: list = []
+            for i, r in enumerate(rem):
+                if r <= threshold:
+                    done.append(notify[i])
+                else:
+                    keep_r.append(r)
+                    keep_n.append(notify[i])
+            self._f_remaining = keep_r
+            self._f_notify = keep_n
+            self._min_remaining = min(keep_r) if keep_r else math.inf
+            # Completions are notified in admission order, matching the
+            # flow-table iteration order of the original implementation.
+            for cb in done:
+                cb()
         self._reschedule()
 
 

@@ -51,6 +51,13 @@ def bcast(comm: "SimComm", rank: int, op: int, nbytes: float, root: int = 0):
     p = comm.size
     if p == 1:
         return
+    fp = getattr(comm, "fastpath", None)
+    if fp is not None and fp.usable():
+        # Binomial trees are contention-free for any size and any entry
+        # times (each rank receives exactly once; a parent's sends are
+        # serialised): closed-form schedule, bit-identical times.
+        yield fp.tree_bcast(rank, op, nbytes, root)
+        return
     vrank = (rank - root) % p
 
     # Receive from the parent (strip the lowest set bit of vrank).
@@ -67,7 +74,7 @@ def bcast(comm: "SimComm", rank: int, op: int, nbytes: float, root: int = 0):
     while m >= 1:
         if vrank + m < p:
             child = ((vrank + m) + root) % p
-            yield from comm.send(
+            yield comm.isend(
                 rank, child, collective_tag(op, m.bit_length()), nbytes
             )
         m >>= 1
@@ -79,12 +86,19 @@ def reduce(comm: "SimComm", rank: int, op: int, nbytes: float, root: int = 0):
     p = comm.size
     if p == 1:
         return
+    fp = getattr(comm, "fastpath", None)
+    if fp is not None and fp.usable() and not (p & (p - 1)):
+        # Power-of-two tree entered in lockstep: children deliver
+        # back-to-back, no pipe ever carries two flows — closed form
+        # (raises if the ranks did not enter together).
+        yield fp.tree_reduce(rank, op, nbytes, root)
+        return
     vrank = (rank - root) % p
     m = 1
     while m < p:
         if vrank & m:
             parent = ((vrank ^ m) + root) % p
-            yield from comm.send(
+            yield comm.isend(
                 rank, parent, collective_tag(op, m.bit_length()), nbytes
             )
             return
@@ -105,17 +119,24 @@ def allreduce(comm: "SimComm", rank: int, op: int, nbytes: float):
     rem = p - pof2
 
     fp = getattr(comm, "fastpath", None)
-    if rem == 0 and fp is not None and fp.usable():
-        # Power-of-two recursive doubling entered in lockstep: closed-form
-        # schedule (see repro.mpi.fastpath), bit-identical completion
-        # times; raises if the ranks did not enter together.
-        yield fp.lockstep_rounds(rank, op, pof2.bit_length() - 1, nbytes)
-        return
+    if fp is not None and fp.usable():
+        if rem == 0:
+            # Power-of-two recursive doubling entered in lockstep:
+            # closed-form schedule (see repro.mpi.fastpath), bit-identical
+            # completion times; raises if the ranks did not enter together.
+            yield fp.lockstep_rounds(rank, op, pof2.bit_length() - 1, nbytes)
+            return
+        if rem == pof2 >> 1:
+            # p = 3·2^k: the one non-power-of-two family whose fold
+            # schedule stays contention-free (a single symmetric
+            # co-admission episode in the straddling final round).
+            yield fp.lockstep_fold(rank, op, nbytes)
+            return
 
     # Fold the excess ranks into the power-of-two set.
     if rank < 2 * rem:
         if rank % 2 == 0:
-            yield from comm.send(rank, rank + 1, collective_tag(op, _PRE), nbytes)
+            yield comm.isend(rank, rank + 1, collective_tag(op, _PRE), nbytes)
             yield comm.recv(rank, rank + 1, collective_tag(op, _POST))
             return
         yield comm.recv(rank, rank - 1, collective_tag(op, _PRE))
@@ -128,14 +149,14 @@ def allreduce(comm: "SimComm", rank: int, op: int, nbytes: float):
     while mask < pof2:
         new_dst = newrank ^ mask
         dst = new_dst * 2 + 1 if new_dst < rem else new_dst + rem
-        yield from comm.sendrecv(
+        yield comm.exchange(
             rank, dst, dst, collective_tag(op, round_id), nbytes
         )
         mask <<= 1
         round_id += 1
 
     if rank < 2 * rem:  # odd rank: hand the result back to its partner
-        yield from comm.send(rank, rank - 1, collective_tag(op, _POST), nbytes)
+        yield comm.isend(rank, rank - 1, collective_tag(op, _POST), nbytes)
 
 
 def allreduce_ring(comm: "SimComm", rank: int, op: int, nbytes: float):
@@ -155,7 +176,7 @@ def allreduce_ring(comm: "SimComm", rank: int, op: int, nbytes: float):
     right = (rank + 1) % p
     left = (rank - 1) % p
     for r in range(2 * (p - 1)):
-        yield from comm.sendrecv(
+        yield comm.exchange(
             rank, right, left, collective_tag(op, r), chunk
         )
 
@@ -172,12 +193,23 @@ def reduce_scatter(comm: "SimComm", rank: int, op: int, nbytes: float):
         return
     if p & (p - 1):
         raise ValueError("reduce_scatter requires a power-of-two size")
+    fp = getattr(comm, "fastpath", None)
+    if fp is not None and fp.usable():
+        # Lockstep pairwise exchanges with per-round halving sizes:
+        # closed-form schedule, bit-identical completion times.
+        sizes = []
+        chunk = nbytes / 2.0
+        for _ in range(p.bit_length() - 1):
+            sizes.append(chunk)
+            chunk /= 2.0
+        yield fp.lockstep_schedule(rank, op, tuple(sizes))
+        return
     mask = p >> 1
     chunk = nbytes / 2.0
     round_id = 0
     while mask >= 1:
         dst = rank ^ mask
-        yield from comm.sendrecv(
+        yield comm.exchange(
             rank, dst, dst, collective_tag(op, round_id), chunk
         )
         chunk /= 2.0
@@ -198,12 +230,25 @@ def allgather_recursive_doubling(
         return
     if p & (p - 1):
         raise ValueError("allgather_recursive_doubling requires a power of two")
+    fp = getattr(comm, "fastpath", None)
+    if fp is not None and fp.usable():
+        # Lockstep pairwise exchanges with per-round doubling sizes:
+        # closed-form schedule, bit-identical completion times.  Through
+        # this and the reduce_scatter hook, Rabenseifner's allreduce
+        # short-circuits as its two component phases.
+        sizes = []
+        chunk = nbytes / p
+        for _ in range(p.bit_length() - 1):
+            sizes.append(chunk)
+            chunk *= 2.0
+        yield fp.lockstep_schedule(rank, op, tuple(sizes))
+        return
     mask = 1
     chunk = nbytes / p
     round_id = 0
     while mask < p:
         dst = rank ^ mask
-        yield from comm.sendrecv(
+        yield comm.exchange(
             rank, dst, dst, collective_tag(op, 100 + round_id), chunk
         )
         chunk *= 2.0
@@ -243,7 +288,7 @@ def allgather(comm: "SimComm", rank: int, op: int, nbytes_per_rank: float):
     right = (rank + 1) % p
     left = (rank - 1) % p
     for r in range(p - 1):
-        yield from comm.sendrecv(
+        yield comm.exchange(
             rank, right, left, collective_tag(op, r), nbytes_per_rank
         )
 
@@ -261,7 +306,7 @@ def gather(comm: "SimComm", rank: int, op: int, nbytes_per_rank: float,
     while m < p:
         if vrank & m:
             parent = ((vrank ^ m) + root) % p
-            yield from comm.send(
+            yield comm.isend(
                 rank,
                 parent,
                 collective_tag(op, m.bit_length()),
@@ -297,7 +342,7 @@ def scatter(comm: "SimComm", rank: int, op: int, nbytes_per_rank: float,
         if vrank + m < p:
             child = ((vrank + m) + root) % p
             blocks = min(m, p - (vrank + m))
-            yield from comm.send(
+            yield comm.isend(
                 rank,
                 child,
                 collective_tag(op, m.bit_length()),
@@ -313,7 +358,7 @@ def alltoall(comm: "SimComm", rank: int, op: int, nbytes_per_pair: float):
     for r in range(1, p):
         dst = (rank + r) % p
         src = (rank - r) % p
-        yield from comm.sendrecv(
+        yield comm.exchange(
             rank, dst, src, collective_tag(op, r), nbytes_per_pair
         )
 
@@ -327,7 +372,7 @@ def barrier(comm: "SimComm", rank: int, op: int):
     while k < p:
         dst = (rank + k) % p
         src = (rank - k) % p
-        yield from comm.sendrecv(
+        yield comm.exchange(
             rank, dst, src, collective_tag(op, round_id), 1.0
         )
         k <<= 1

@@ -1,0 +1,205 @@
+"""Property suite: EventWheel vs a ``heapq`` reference model.
+
+The wheel's ordering contract is exactly the old per-object binary
+heap's: entries pop in ascending ``(time, seq)`` with ``seq`` assigned
+in push order.  Everything the engine relies on — simultaneous
+timestamps, re-scheduling, cancellation, ``pop_due``/``pop_batch``
+batching, ``peek_time``/empty edges — is driven here against a model
+that is obviously correct.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.des.wheel import EventWheel
+
+# Timestamps spanning many orders of magnitude so filing crosses bucket
+# years, triggers sparse-year jumps, and exercises width re-estimation.
+TIMES = st.one_of(
+    st.floats(min_value=0.0, max_value=1e-6, allow_nan=False),
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    st.sampled_from([0.0, 1e-9, 0.5, 1.0, 1.0 + 2**-50, 1e3]),
+)
+
+
+def _drain(wheel: EventWheel):
+    out = []
+    while wheel:
+        out.append(wheel.pop())
+    return out
+
+
+@given(st.lists(TIMES, max_size=200))
+def test_pop_order_matches_heap(times):
+    wheel = EventWheel(capacity=4, width=0.125)
+    heap = []
+    for i, t in enumerate(times):
+        wheel.push(t, i)
+        heapq.heappush(heap, (t, i))
+    got = _drain(wheel)
+    expected = [(t, i) for t, i in (heapq.heappop(heap) for _ in range(len(heap)))]
+    assert got == expected
+    assert len(wheel) == 0 and not wheel
+    assert wheel.peek_time() == float("inf")
+
+
+@given(st.lists(st.sampled_from([0.0, 0.25, 0.25, 1.0]), max_size=64))
+def test_simultaneous_timestamps_pop_fifo(times):
+    wheel = EventWheel(capacity=2, width=1e-3)
+    for i, t in enumerate(times):
+        wheel.push(t, i)
+    got = _drain(wheel)
+    assert got == sorted(((t, i) for i, t in enumerate(times)))
+
+
+@given(st.lists(TIMES, min_size=1, max_size=100), st.data())
+def test_pop_batch_groups_equal_times(times, data):
+    wheel = EventWheel(capacity=4, width=0.125)
+    # Force collisions: duplicate a random subset of timestamps.
+    dupes = data.draw(st.lists(st.sampled_from(times), max_size=20))
+    seq = list(times) + dupes
+    expected = sorted((t, i) for i, t in enumerate(seq))
+    for i, t in enumerate(seq):
+        wheel.push(t, i)
+    got = []
+    while wheel:
+        group = []
+        t0 = wheel.pop_batch(group.append)
+        assert group, "pop_batch must pop at least one entry"
+        # The whole equal-time group arrives in one call, in seq order.
+        take = [i for t, i in expected[: len(group)]]
+        assert group == take
+        assert all(t == t0 for t, _ in expected[: len(group)])
+        if len(expected) > len(group):
+            assert expected[len(group)][0] > t0
+        expected = expected[len(group) :]
+    assert not expected
+    with pytest.raises(IndexError):
+        wheel.pop_batch(got.append)
+
+
+@given(st.lists(TIMES, min_size=1, max_size=100), TIMES)
+def test_pop_due_respects_limit(times, limit):
+    wheel = EventWheel(capacity=4, width=0.125)
+    for i, t in enumerate(times):
+        wheel.push(t, i)
+    expected = sorted((t, i) for i, t in enumerate(times))
+    due = [i for t, i in expected if t <= limit]
+    got = []
+    while True:
+        payload = wheel.pop_due(limit)
+        if payload is None:
+            break
+        got.append(payload)
+    assert got == due
+    assert len(wheel) == len(times) - len(due)
+    if wheel:
+        assert wheel.peek_time() > limit
+
+
+class WheelVsHeap(RuleBasedStateMachine):
+    """Interleaved push/pop/cancel/peek against the reference model,
+    including re-scheduling (cancel + push of the same payload) and
+    pushes earlier than the scan cursor."""
+
+    def __init__(self):
+        super().__init__()
+        self.wheel = EventWheel(capacity=2, width=1e-3)
+        self.heap = []  # (time, seq, payload) — seq mirrors push order
+        self.seq = 0
+        self.slots = {}  # payload -> slot id of its live entry
+        self.popped_time = None
+
+    @rule(t=TIMES)
+    def push(self, t):
+        payload = self.seq
+        slot = self.wheel.push(t, payload)
+        heapq.heappush(self.heap, (t, self.seq, payload))
+        self.slots[payload] = slot
+        self.seq += 1
+
+    @precondition(lambda self: self.heap)
+    @rule()
+    def pop(self):
+        t, _seq, payload = heapq.heappop(self.heap)
+        got_t, got_payload = self.wheel.pop()
+        assert (got_t, got_payload) == (t, payload)
+        del self.slots[payload]
+        self.popped_time = t
+
+    @precondition(lambda self: self.heap)
+    @rule(data=st.data())
+    def cancel(self, data):
+        payload = data.draw(st.sampled_from(sorted(self.slots)))
+        slot = self.slots.pop(payload)
+        assert self.wheel.slot_queued(slot)
+        self.wheel.cancel(slot)
+        assert not self.wheel.slot_queued(slot)
+        self.heap = [e for e in self.heap if e[2] != payload]
+        heapq.heapify(self.heap)
+        with pytest.raises(ValueError):
+            self.wheel.cancel(slot)
+
+    @precondition(lambda self: self.heap)
+    @rule(t=TIMES)
+    def reschedule(self, t):
+        """Cancel a live entry and re-file its payload at a new time —
+        the engine's timeout-interrupt pattern."""
+        payload = min(self.slots)
+        self.wheel.cancel(self.slots.pop(payload))
+        self.heap = [e for e in self.heap if e[2] != payload]
+        heapq.heapify(self.heap)
+        slot = self.wheel.push(t, payload)
+        heapq.heappush(self.heap, (t, self.seq, payload))
+        self.slots[payload] = slot
+        self.seq += 1
+
+    @invariant()
+    def sizes_agree(self):
+        assert len(self.wheel) == len(self.heap)
+        assert bool(self.wheel) == bool(self.heap)
+
+    @invariant()
+    def peek_agrees(self):
+        if self.heap:
+            assert self.wheel.peek_time() == self.heap[0][0]
+        else:
+            assert self.wheel.peek_time() == float("inf")
+
+
+WheelVsHeap.TestCase.settings = settings(max_examples=60, stateful_step_count=60)
+TestWheelVsHeap = WheelVsHeap.TestCase
+
+
+def test_empty_edges():
+    wheel = EventWheel(capacity=1, width=1e-3)
+    assert wheel.peek_time() == float("inf")
+    with pytest.raises(IndexError):
+        wheel.pop()
+    assert wheel.pop_due(1e9) is None
+    slot = wheel.push(1.0, "x")
+    wheel.cancel(slot)
+    # Only a cancelled husk remains: every read path reports empty.
+    assert wheel.peek_time() == float("inf")
+    assert wheel.pop_due(1e9) is None
+    with pytest.raises(IndexError):
+        wheel.pop()
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError, match="capacity"):
+        EventWheel(capacity=0)
+    with pytest.raises(ValueError, match="width"):
+        EventWheel(width=0.0)

@@ -119,15 +119,129 @@ def test_lockstep_allreduce_bit_identical(p):
     )
 
 
-@pytest.mark.parametrize("p", [3, 5, 6, 9])
-def test_lockstep_skips_non_power_of_two(p):
-    """Non-power-of-two sizes keep the simulated pre/post folding —
-    the fast path must not engage (and results stay the simulated ones)."""
+@pytest.mark.parametrize("p", [5, 7, 9, 11])
+def test_lockstep_skips_general_non_power_of_two(p):
+    """Sizes that are neither 2^k nor 3·2^k keep the simulated pre/post
+    folding — their fold schedules put partially-overlapping flows on
+    one pipe, so the fast path must not engage."""
     real, _ = _run(p, collectives.allreduce, fastpath=False, nbytes=50_000)
     fast, fast_comm = _run(p, collectives.allreduce, fastpath=True,
                            nbytes=50_000)
     assert fast == real
     assert fast_comm.fastpath.collectives_short_circuited == 0
+
+
+@pytest.mark.parametrize("p", [3, 6, 12])
+def test_fold_allreduce_bit_identical(p):
+    """p = 3·2^k allreduce in lockstep: the fold closed form (one
+    symmetric co-admission episode in the straddling final round) equals
+    the simulated pre/fold/post schedule exactly."""
+    real, real_comm = _run(p, collectives.allreduce, fastpath=False,
+                           nbytes=50_000)
+    fast, fast_comm = _run(p, collectives.allreduce, fastpath=True,
+                           nbytes=50_000)
+    assert fast == real
+    assert fast_comm.fastpath.collectives_short_circuited == 1
+    assert fast_comm.messages_sent == real_comm.messages_sent
+    assert fast_comm.internode_messages == real_comm.internode_messages
+    assert fast_comm.bytes_sent == pytest.approx(
+        real_comm.bytes_sent, rel=1e-12
+    )
+
+
+@pytest.mark.parametrize("p", [3, 6])
+@pytest.mark.parametrize("nbytes", [2_000, 120_000])
+def test_fold_allreduce_sizes_also_exact(p, nbytes):
+    """The fold schedule stays exact across the eager/rendezvous latency
+    regimes (the co-admission term degenerates with the wire time)."""
+    real, _ = _run(p, collectives.allreduce, fastpath=False, nbytes=nbytes)
+    fast, _ = _run(p, collectives.allreduce, fastpath=True, nbytes=nbytes)
+    assert fast == real
+
+
+@pytest.mark.parametrize("p", [2, 3, 5, 7, 8, 12])
+@pytest.mark.parametrize("root", [0, 1])
+def test_tree_bcast_bit_identical(p, root):
+    """Binomial broadcast: closed form equals the simulated tree exactly
+    for any size (no power-of-two restriction)."""
+    if root >= p:
+        pytest.skip("root outside communicator")
+    real, real_comm = _run(p, collectives.bcast, fastpath=False,
+                           nbytes=75_000, root=root)
+    fast, fast_comm = _run(p, collectives.bcast, fastpath=True,
+                           nbytes=75_000, root=root)
+    assert fast == real
+    assert fast_comm.fastpath.collectives_short_circuited == 1
+    assert fast_comm.messages_sent == real_comm.messages_sent
+    assert fast_comm.internode_messages == real_comm.internode_messages
+    assert fast_comm.bytes_sent == pytest.approx(
+        real_comm.bytes_sent, rel=1e-12
+    )
+
+
+@pytest.mark.parametrize("p", [3, 6, 8])
+def test_tree_bcast_staggered_entries(p):
+    """Broadcast tolerates arbitrary entry times: early messages wait in
+    the unexpected queue, late parents delay only their own subtree."""
+    real, _ = _run(p, collectives.bcast, fastpath=False,
+                   stagger=4.3e-5, nbytes=30_000)
+    fast, _ = _run(p, collectives.bcast, fastpath=True,
+                   stagger=4.3e-5, nbytes=30_000)
+    assert fast == real
+
+
+@pytest.mark.parametrize("p", [2, 4, 8, 16])
+@pytest.mark.parametrize("root", [0, 3])
+def test_tree_reduce_bit_identical(p, root):
+    """Binomial reduction on power-of-two sizes in lockstep: children
+    deliver back-to-back and the closed form is exact."""
+    if root >= p:
+        pytest.skip("root outside communicator")
+    real, real_comm = _run(p, collectives.reduce, fastpath=False,
+                           nbytes=60_000, root=root)
+    fast, fast_comm = _run(p, collectives.reduce, fastpath=True,
+                           nbytes=60_000, root=root)
+    assert fast == real
+    assert fast_comm.fastpath.collectives_short_circuited == 1
+    assert fast_comm.messages_sent == real_comm.messages_sent
+    assert fast_comm.internode_messages == real_comm.internode_messages
+
+
+@pytest.mark.parametrize("p", [3, 6])
+def test_tree_reduce_skips_non_power_of_two(p):
+    """Non-power-of-two reductions keep the message path (partial
+    fan-ins overlap flows on the root's receive pipe)."""
+    real, _ = _run(p, collectives.reduce, fastpath=False, nbytes=60_000)
+    fast, fast_comm = _run(p, collectives.reduce, fastpath=True,
+                           nbytes=60_000)
+    assert fast == real
+    assert fast_comm.fastpath.collectives_short_circuited == 0
+
+
+@pytest.mark.parametrize("p", [2, 4, 8, 16])
+@pytest.mark.parametrize(
+    "fn,nbytes",
+    [
+        (collectives.reduce_scatter, 240_000),
+        (collectives.allgather_recursive_doubling, 240_000),
+        (collectives.allreduce_rabenseifner, 240_000),
+    ],
+    ids=["reduce_scatter", "allgather_rd", "rabenseifner"],
+)
+def test_lockstep_schedule_bit_identical(p, fn, nbytes):
+    """Recursive halving/doubling collectives (and Rabenseifner's
+    allreduce built from them) in lockstep: the per-round-size closed
+    form equals the simulated schedule exactly."""
+    real, real_comm = _run(p, fn, fastpath=False, nbytes=nbytes)
+    fast, fast_comm = _run(p, fn, fastpath=True, nbytes=nbytes)
+    assert fast == real
+    expected = 2 if fn is collectives.allreduce_rabenseifner and p > 1 else 1
+    assert fast_comm.fastpath.collectives_short_circuited == expected
+    assert fast_comm.messages_sent == real_comm.messages_sent
+    assert fast_comm.internode_messages == real_comm.internode_messages
+    assert fast_comm.bytes_sent == pytest.approx(
+        real_comm.bytes_sent, rel=1e-12
+    )
 
 
 def test_lockstep_staggered_entries_raise():
