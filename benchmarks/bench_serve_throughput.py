@@ -29,6 +29,21 @@ Its gates are the sharding story's acceptance criteria:
   ``os.cpu_count()`` >= the shard count (CI's 4-vCPU runners qualify),
   and reported as skipped otherwise — correctness gates always run.
 
+**Chaos** (``--chaos``, on by default where fork + POSIX signals are
+available) replays the same seeded zipfian mix twice through an
+L2-backed self-healing cluster: once calm, once with a seeded
+:class:`~repro.serve.loadgen.ChaosPlan` that SIGKILLs one worker and
+SIGSTOPs (wedges) another mid-replay.  Its gates are the self-healing
+story's acceptance criteria:
+
+- zero lost requests — both arms finish with zero errors and a full
+  payload per request; no caller ever sees ``ShardDown``;
+- digest parity — the chaos arm's scoreboard digest is byte-identical
+  to the calm arm's (replayed responses are indistinguishable);
+- healing happened — the chaos arm records >= 1 respawn and a full
+  breaker open -> close cycle, and its executed count stays within the
+  fault budget of the calm arm's exact dedupe.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_serve_throughput.py          # full
@@ -43,8 +58,11 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import multiprocessing
 import os
+import signal
 import sys
+import tempfile
 import time
 
 sys.path.insert(
@@ -53,6 +71,7 @@ sys.path.insert(
 
 from repro.exec import ExperimentExecutor  # noqa: E402
 from repro.serve import (  # noqa: E402
+    ChaosPlan,
     ShardRouter,
     StudyCluster,
     StudyService,
@@ -145,7 +164,14 @@ def cluster_mix(quick: bool, shards: int) -> ZipfianMix:
 def run_cluster_arm(mix: ZipfianMix, shards: int):
     """One cluster replay; returns (report, scoreboard, setup_s)."""
     t0 = time.perf_counter()
-    cluster = StudyCluster(shards=shards, max_pending=len(mix.universe))
+    # A generous wedge budget: the scaling mix is deliberately
+    # CPU-heavy, and on small runners N contending workers can stretch
+    # one simulation past the default 3s heartbeat budget — which would
+    # turn a throughput benchmark into an accidental chaos test.
+    cluster = StudyCluster(
+        shards=shards, max_pending=len(mix.universe),
+        heartbeat_interval=0.5, heartbeat_misses=20,
+    )
 
     async def replay():
         async with cluster:
@@ -194,6 +220,164 @@ def run_cluster_suite(quick: bool, max_shards: int):
     return mix, service_report, service_board, arms
 
 
+#: Fast supervision so the chaos arm detects the wedged worker and
+#: recovers within the replay, not after.  Workers answer heartbeats
+#: between specs, so the wedge budget (interval x misses = 1.5s) only
+#: needs to exceed one simulation (~0.7s here), not a whole batch.
+CHAOS_SUPERVISOR = dict(
+    heartbeat_interval=0.05,
+    heartbeat_misses=30,
+    breaker_base_backoff=0.02,
+    breaker_max_backoff=0.25,
+)
+
+
+def chaos_supported(shards: int) -> bool:
+    return (
+        shards >= 2
+        and "fork" in multiprocessing.get_all_start_methods()
+        and hasattr(signal, "SIGSTOP")
+        and hasattr(os, "kill")
+    )
+
+
+def chaos_mix(quick: bool, shards: int) -> ZipfianMix:
+    """The chaos arms' mix: same shape as the scaling mix but with
+    cheap simulations (``sim_steps=1``).  The chaos suite measures
+    recovery, not throughput — cheap specs keep every execution chunk
+    far inside the wedge budget even on a single-core runner where N
+    contending workers multiply each spec's wall clock."""
+    n_uniques = 12 if quick else 24
+    universe = balanced_universe(
+        n_uniques, ShardRouter(shards), fig="fig1", nodes=2, sim_steps=1
+    )
+    return ZipfianMix.build(
+        universe, n_requests=12 * n_uniques, s=1.1, seed=42
+    )
+
+
+def run_chaos_suite(quick: bool, shards: int):
+    """Calm vs chaos replay of one seeded mix; returns (block, failures).
+
+    Both arms run the self-healing cluster with the shared L2 cache
+    enabled (each arm gets its own fresh cache directory), so a request
+    replayed after a kill lands on the cached result and the executed
+    count stays within the fault budget.
+    """
+    mix = chaos_mix(quick, shards)
+    plan = ChaosPlan.build(
+        n_shards=shards, n_requests=mix.n_requests,
+        kills=1, wedges=1, seed=mix.seed,
+    )
+    ops_desc = ", ".join(
+        f"{op.kind} shard {op.shard} at request {op.at_request}"
+        for op in plan.ops
+    )
+    print(f"chaos plan: {ops_desc} (seed {plan.seed}, {shards} shards)")
+
+    def arm(chaos_plan, cache_dir):
+        async def go():
+            cluster = StudyCluster(
+                shards=shards, cache=True, cache_dir=cache_dir,
+                max_pending=len(mix.universe), **CHAOS_SUPERVISOR,
+            )
+            async with cluster:
+                report = await run_load(
+                    cluster, mix, concurrency=32, chaos=chaos_plan
+                )
+                if chaos_plan is not None:
+                    # Recovery-to-ring proof: keep universe keys flowing
+                    # until the opened breaker closes again (bounded).
+                    t_limit = time.monotonic() + 30.0
+                    i = 0
+                    while (
+                        cluster.stats.breaker_closes < 1
+                        and time.monotonic() < t_limit
+                    ):
+                        await cluster.submit(
+                            mix.universe[i % len(mix.universe)]
+                        )
+                        i += 1
+                        await asyncio.sleep(0.01)
+            return report, cluster
+
+        return asyncio.run(go())
+
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        calm_report, calm = arm(None, os.path.join(tmp, "calm"))
+        chaos_report, chaos = arm(plan, os.path.join(tmp, "chaos"))
+
+    calm_board = scoreboard(calm_report, calm.stats.executed)
+    chaos_board = scoreboard(chaos_report, chaos.stats.executed)
+    distinct = mix.distinct_requested()
+    digest_match = chaos_board["digest"] == calm_board["digest"]
+
+    block = {
+        "requests": mix.n_requests,
+        "shards": shards,
+        "plan": [
+            {"kind": op.kind, "shard": op.shard,
+             "at_request": op.at_request}
+            for op in plan.ops
+        ],
+        "seed": plan.seed,
+        "calm": {
+            **calm_board,
+            "respawns": calm.stats.respawns,
+        },
+        "chaos": {
+            **chaos_board,
+            "chaos_applied": chaos_report.chaos_applied,
+            "respawns": chaos.stats.respawns,
+            "replayed": chaos.stats.replayed,
+            "fallbacks": chaos.stats.fallbacks,
+            "heartbeat_misses": chaos.stats.heartbeat_misses,
+            "breaker_opens": chaos.stats.breaker_opens,
+            "breaker_closes": chaos.stats.breaker_closes,
+        },
+        "digest_match": digest_match,
+    }
+
+    failures = []
+    for label, board in (("calm", calm_board), ("chaos", chaos_board)):
+        if board["errors"]:
+            failures.append(
+                f"chaos suite: {label} arm had {board['errors']} errors "
+                f"(lost requests)"
+            )
+    if chaos_report.chaos_applied != len(plan.ops):
+        failures.append(
+            f"chaos suite: applied {chaos_report.chaos_applied} of "
+            f"{len(plan.ops)} planned faults"
+        )
+    if not digest_match:
+        failures.append(
+            "chaos suite: scoreboard digest differs from the calm run"
+        )
+    if calm.stats.executed != distinct:
+        failures.append(
+            f"chaos suite: calm arm executed {calm.stats.executed} != "
+            f"{distinct} distinct specs"
+        )
+    if abs(chaos.stats.executed - distinct) > len(plan.ops):
+        failures.append(
+            f"chaos suite: chaos arm executed {chaos.stats.executed}, "
+            f"outside the +/-{len(plan.ops)} fault budget of {distinct}"
+        )
+    if chaos.stats.respawns < 1:
+        failures.append("chaos suite: no worker was respawned")
+    if chaos.stats.breaker_opens < 1 or chaos.stats.breaker_closes < 1:
+        failures.append(
+            "chaos suite: no full breaker open -> close cycle observed"
+        )
+    if calm.stats.respawns != 0:
+        failures.append(
+            f"chaos suite: calm arm respawned {calm.stats.respawns} "
+            f"worker(s) — the supervisor is trigger-happy"
+        )
+    return block, failures
+
+
 def payloads_by_name(results):
     """Canonical JSON payload per spec name, asserting intra-arm parity."""
     out = {}
@@ -223,6 +407,10 @@ def main(argv=None) -> int:
                     help="wall-clock floor the multi-shard arm must "
                          "beat over 1 shard (default 3.0; enforced "
                          "only when cpu_count >= shards)")
+    ap.add_argument("--chaos", action=argparse.BooleanOptionalAction,
+                    default=True,
+                    help="also run the kill-worker chaos arm (skipped "
+                         "automatically without fork/POSIX signals)")
     ap.add_argument("--out", default=None, metavar="FILE",
                     help="write the JSON report to FILE")
     args = ap.parse_args(argv)
@@ -326,6 +514,21 @@ def main(argv=None) -> int:
                 f"note: shard-speedup gate skipped "
                 f"({cores} cores < {args.shards} shards); "
                 f"measured {shard_speedup:.2f}x",
+                file=sys.stderr,
+            )
+
+    if args.chaos:
+        if chaos_supported(args.shards):
+            chaos_block, chaos_failures = run_chaos_suite(
+                args.quick, args.shards
+            )
+            report["chaos"] = chaos_block
+            failures.extend(chaos_failures)
+        else:
+            report["chaos"] = {"skipped": True}
+            print(
+                "note: chaos arm skipped (needs >= 2 shards, fork, and "
+                "POSIX signals)",
                 file=sys.stderr,
             )
 

@@ -147,6 +147,28 @@ class ExecStats:
             "cache_write_errors": self.cache_write_errors,
         }
 
+    def snapshot(self) -> tuple:
+        """The cache-accounting fields a serving layer deltas across a
+        batch: ``(executed, l1_hits, hits, failures)``."""
+        return (self.executed, self.l1_hits, self.hits, self.failures)
+
+    def delta(self, before: tuple) -> dict:
+        """What one batch added on top of a :meth:`snapshot`.
+
+        Keys mirror the ``serve.shard.*`` wire vocabulary (``hits`` is
+        reported as ``l2_hits`` — the on-disk cache is the L2 of the
+        serving stack).  This is how a shard worker piggybacks exact
+        per-batch execution accounting on every ``done`` message, so a
+        worker killed later never takes already-reported counts with it.
+        """
+        executed, l1_hits, hits, failures = before
+        return {
+            "executed": self.executed - executed,
+            "l1_hits": self.l1_hits - l1_hits,
+            "l2_hits": self.hits - hits,
+            "failures": self.failures - failures,
+        }
+
 
 class ExperimentExecutor:
     """Fan independent specs out to workers; reassemble deterministically.

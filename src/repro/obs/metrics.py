@@ -198,6 +198,16 @@ class MetricsRegistry:
         """The instrument registered under ``name`` (KeyError if none)."""
         return self._metrics[name]
 
+    def value_of(self, name: str, default: float = 0.0) -> float:
+        """Current value of a counter/gauge, ``default`` if absent.
+
+        Lets assertion-style readers (benchmark gates, chaos checks)
+        probe a metric without creating it as a side effect; histograms
+        have no single value and also report ``default``.
+        """
+        metric = self._metrics.get(name)
+        return getattr(metric, "value", default) if metric else default
+
     def __contains__(self, name: str) -> bool:
         return name in self._metrics
 

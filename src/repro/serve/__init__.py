@@ -15,11 +15,18 @@ Where :mod:`repro.exec` distributes one caller's grid across processes,
   front end: N worker processes (own executor + in-memory L1, shared
   on-disk L2) behind a :class:`~repro.serve.router.ShardRouter` that
   consistent-hashes :func:`~repro.exec.speckey.spec_key`, making the
-  per-shard single-flight globally single-flight.
+  per-shard single-flight globally single-flight.  Self-healing by
+  default: a supervisor detects dead and wedged workers, respawns
+  them, and replays their in-flight requests.
+- :mod:`repro.serve.breaker` — :class:`CircuitBreaker`, the
+  deterministic per-shard closed → open → half-open state machine
+  that routes traffic to the degraded fallback path while a shard
+  flaps.
 - :mod:`repro.serve.router` — the consistent-hash ring (stable,
   balanced, minimally disruptive on resize).
-- :mod:`repro.serve.loadgen` — seeded zipfian traffic generation and
-  the deterministic scoreboard ("millions of users" replay harness).
+- :mod:`repro.serve.loadgen` — seeded zipfian traffic generation,
+  the deterministic scoreboard, and seeded :class:`ChaosPlan` fault
+  schedules ("millions of users" replay harness + chaos harness).
 - :mod:`repro.serve.requests` — the JSON request dialect the
   ``repro-serve`` CLI and the throughput benchmark replay.
 - :mod:`repro.serve.cli` — the ``repro-serve`` entry point.
@@ -29,6 +36,7 @@ Semantics, metric names and the backpressure contract are documented in
 lives in ``benchmarks/bench_serve_throughput.py``.
 """
 
+from repro.serve.breaker import CircuitBreaker
 from repro.serve.cluster import (
     ClusterStats,
     ShardConfig,
@@ -36,6 +44,8 @@ from repro.serve.cluster import (
     StudyCluster,
 )
 from repro.serve.loadgen import (
+    ChaosOp,
+    ChaosPlan,
     LoadReport,
     ZipfianMix,
     balanced_universe,
@@ -47,6 +57,7 @@ from repro.serve.loadgen import (
 from repro.serve.requests import RequestGroup, build_spec, parse_script
 from repro.serve.router import ShardRouter
 from repro.serve.service import (
+    DeadlineExceeded,
     Overloaded,
     RequestFailed,
     ServeError,
@@ -56,7 +67,11 @@ from repro.serve.service import (
 )
 
 __all__ = [
+    "ChaosOp",
+    "ChaosPlan",
+    "CircuitBreaker",
     "ClusterStats",
+    "DeadlineExceeded",
     "LoadReport",
     "Overloaded",
     "RequestFailed",

@@ -43,6 +43,7 @@ from repro.core.figures import ascii_table
 from repro.exec import ExperimentExecutor
 from repro.serve.cluster import ShardDown, StudyCluster
 from repro.serve.loadgen import (
+    MAX_RETRIES,
     ZipfianMix,
     default_universe,
     run_load,
@@ -133,6 +134,16 @@ def _scoreboard(target, tally: Optional[dict]) -> str:
             ["shard balance (max/min)",
              "inf" if ratio == float("inf") else round(ratio, 3)]
         )
+        if target.self_heal:
+            rows += [
+                ["shard crashes", target.stats.shard_crashes],
+                ["  respawned", target.stats.respawns],
+                ["  flights replayed", target.stats.replayed],
+                ["  served via fallback", target.stats.fallbacks],
+                ["  breaker opens/closes",
+                 f"{target.stats.breaker_opens}/"
+                 f"{target.stats.breaker_closes}"],
+            ]
     return ascii_table(["serve", "value"], rows)
 
 
@@ -175,6 +186,12 @@ def build_parser() -> argparse.ArgumentParser:
     src.add_argument(
         "--concurrency", type=int, default=32, metavar="N",
         help="zipf mode: max requests in flight (default 32)",
+    )
+    src.add_argument(
+        "--max-retries", type=int, default=None, metavar="N",
+        help="zipf mode: Overloaded retries per request before it is "
+             "recorded as an error (default: the load generator's "
+             "ceiling of 100; 0 = fail on first rejection)",
     )
     src.add_argument(
         "--fig", choices=["fig1", "fig3"], default="fig1",
@@ -232,6 +249,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=".repro-cache", metavar="DIR",
         help="result-cache directory (default .repro-cache)",
     )
+    svc.add_argument(
+        "--self-heal", action=argparse.BooleanOptionalAction,
+        default=True,
+        help="cluster only: supervise workers, respawn the dead and "
+             "replay their in-flight requests (default on; "
+             "--no-self-heal restores fail-fast ShardDown containment)",
+    )
     chk = parser.add_argument_group("checks (exit 1 on violation)")
     chk.add_argument(
         "--expect-dedupe", type=int, default=None, metavar="N",
@@ -262,6 +286,7 @@ def _build_target(args):
             l1=l1,
             max_pending=args.max_pending,
             max_batch=args.max_batch,
+            self_heal=args.self_heal,
         )
     return StudyService(
         executor=ExperimentExecutor(
@@ -304,6 +329,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "--concurrency >= 1",
             file=sys.stderr,
         )
+        return 2
+    if args.max_retries is not None and args.max_retries < 0:
+        print("error: --max-retries must be >= 0", file=sys.stderr)
         return 2
 
     groups = mix = None
@@ -348,10 +376,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         async def zipf_replay():
             async with target:
                 return await run_load(
-                    target, mix, concurrency=args.concurrency
+                    target, mix,
+                    concurrency=args.concurrency,
+                    max_retries=args.max_retries,
                 )
 
         report = asyncio.run(zipf_replay())
+        if report.overload_exhausted:
+            hint = (
+                f"{report.last_retry_after:.3f}s"
+                if report.last_retry_after is not None
+                else "n/a"
+            )
+            ceiling = (
+                args.max_retries
+                if args.max_retries is not None
+                else MAX_RETRIES
+            )
+            print(
+                f"error: {report.overload_exhausted} request(s) gave up "
+                f"after the retry ceiling ({ceiling} retries); server's "
+                f"last retry_after hint was {hint} — raise --max-retries "
+                "or lower the offered load",
+                file=sys.stderr,
+            )
         executed, _, _ = _cache_stats(target)
         board = scoreboard(
             report,

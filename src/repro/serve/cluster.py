@@ -22,22 +22,45 @@ request's :func:`~repro.exec.speckey.spec_key`:
   flight per shard; beyond that, new keys are rejected with
   :class:`~repro.serve.service.Overloaded` exactly like the
   single-process service.
-- **Crash containment.** A dying worker fails only the requests routed
-  to it (:class:`ShardDown`); the other shards keep serving, and
-  :meth:`drain` still completes cleanly.
+- **Self-healing** (``self_heal=True``, the default).  A supervisor
+  task detects dead workers two ways — pipe EOF for a process that
+  exited, and missed heartbeats (a ``ping``/``pong`` RPC on the same
+  duplex pipe) for a *wedged* process that is alive but unresponsive,
+  which is then killed.  Dead workers are respawned with a fresh
+  executor (the router never remaps, so every key routes back to the
+  original shard id), and the in-flight requests that died with the old
+  worker are **replayed** transparently: responses stay byte-identical
+  because replayed keys hit the shared L2 cache or re-execute
+  deterministically.  While a shard is down or flapping, its per-shard
+  circuit breaker (:mod:`repro.serve.breaker`: closed → open →
+  half-open with seeded decorrelated-jitter backoff) degrades
+  gracefully — new keys for that shard run on a front-end *fallback*
+  executor backed by the same L2 — and traffic recovers to the ring
+  when the breaker half-opens.  With ``self_heal=False`` the cluster
+  keeps the original crash-containment contract: a dying worker fails
+  only *its* requests with :class:`ShardDown` and stays down.
+- **Deadlines.** ``submit(spec, deadline=seconds)`` bounds one request:
+  the remaining budget travels with the batch so the worker cancels a
+  queued spec whose budget lapsed before it ran (worker-side
+  cancellation), and the waiter gets a typed
+  :class:`~repro.serve.service.DeadlineExceeded` either way.
 
 Transport is a duplex :func:`multiprocessing.Pipe` per worker: specs
 travel as pickles, results return as the same canonical JSON the result
 cache writes — so a response is byte-identical whether it was computed
-here, replayed from L1/L2, or served by a single-process
-:class:`StudyService` (the parity gate in
-``benchmarks/bench_serve_throughput.py`` holds the cluster to that).
+here, replayed from L1/L2, served by the fallback path, or served by a
+single-process :class:`StudyService` (the parity and chaos gates in
+``benchmarks/bench_serve_throughput.py`` hold the cluster to that).
 
-Worker-side accounting comes back as ``serve.shard.*`` counters/gauges
-(one :class:`~repro.obs.metrics.MetricsRegistry` dump per worker,
-folded into the front end's :class:`~repro.obs.span.Observability` at
-drain), next to the front end's own ``serve.*`` metrics — one report
-for the whole cluster.  See ``docs/serving.md``.
+Worker-side accounting comes back two ways: exact per-batch execution
+deltas piggyback on every ``done`` message (so a worker killed later
+never takes already-reported counts with it), and the worker's
+``serve.shard.*`` metrics registry is folded into the front end's
+:class:`~repro.obs.span.Observability` at drain.  Supervision adds
+``serve.shard.respawns`` / ``heartbeat_misses`` / ``replayed`` /
+``breaker_opens`` / ``breaker_closes`` counters, the
+``serve.shard.breaker_state`` gauge and ``serve.shard.respawn`` /
+``serve.shard.breaker`` spans.  See ``docs/serving.md``.
 """
 
 from __future__ import annotations
@@ -46,6 +69,8 @@ import asyncio
 import itertools
 import json
 import multiprocessing as mp
+import os
+import signal
 import threading
 import time
 from collections import deque
@@ -59,8 +84,11 @@ from repro.exec.failures import FailedPoint
 from repro.exec.speckey import spec_key
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.span import Observability
+from repro.serve import breaker as breaker_mod
+from repro.serve.breaker import CircuitBreaker
 from repro.serve.router import ShardRouter
 from repro.serve.service import (
+    DeadlineExceeded,
     Overloaded,
     RequestFailed,
     ServeError,
@@ -70,7 +98,9 @@ from repro.serve.service import (
 
 
 class ShardDown(ServeError):
-    """The shard owning this request's key has died."""
+    """The shard owning this request's key has died (``self_heal=False``
+    clusters only — a self-healing cluster replays or degrades instead
+    of surfacing this to callers)."""
 
     def __init__(self, shard: int, detail: str) -> None:
         super().__init__(f"shard {shard} is down: {detail}")
@@ -95,22 +125,35 @@ class ClusterStats(ServeStats):
     The totals (`requests`, `dedup_hits`, ...) mean the same thing as on
     :class:`~repro.serve.service.ServeStats`; the ``*_by_shard`` lists
     and the worker-side aggregates (``executed`` / ``l1_hits`` /
-    ``l2_hits``, collected at drain) are cluster-specific.
+    ``l2_hits``, accumulated from per-batch deltas as batches land) are
+    cluster-specific, and the supervision block (``respawns`` …
+    ``deadline_exceeded``) tracks the self-healing machinery.
     """
 
     shards: int = 0
     #: Requests routed to each shard (dedupe joins included — this is
     #: the traffic balance the router produced).
     requests_by_shard: list = field(default_factory=list)
-    #: Unique in-flight specs actually sent to each worker.
+    #: Unique in-flight specs actually sent to each worker (replayed
+    #: flights count once per send).
     flights_by_shard: list = field(default_factory=list)
-    #: Simulations executed across all workers (filled at drain).
+    #: Simulations executed across all workers + the fallback path.
     executed: int = 0
-    #: Worker L1-memo hits across all workers (filled at drain).
+    #: Worker/fallback L1-memo hits.
     l1_hits: int = 0
-    #: Shared on-disk L2 cache hits across all workers (filled at drain).
+    #: Shared on-disk L2 cache hits across workers + fallback.
     l2_hits: int = 0
     shard_crashes: int = 0
+    #: Workers respawned by the supervisor.
+    respawns: int = 0
+    #: In-flight requests orphaned by a death and replayed on the ring.
+    replayed: int = 0
+    #: Requests served by the front-end fallback executor.
+    fallbacks: int = 0
+    breaker_opens: int = 0
+    breaker_closes: int = 0
+    heartbeat_misses: int = 0
+    deadline_exceeded: int = 0
 
     def balance_ratio(self) -> float:
         """max/min requests per shard (``inf`` if a shard saw none)."""
@@ -132,6 +175,13 @@ class ClusterStats(ServeStats):
                 "l1_hits": self.l1_hits,
                 "l2_hits": self.l2_hits,
                 "shard_crashes": self.shard_crashes,
+                "respawns": self.respawns,
+                "replayed": self.replayed,
+                "fallbacks": self.fallbacks,
+                "breaker_opens": self.breaker_opens,
+                "breaker_closes": self.breaker_closes,
+                "heartbeat_misses": self.heartbeat_misses,
+                "deadline_exceeded": self.deadline_exceeded,
                 "balance_ratio": self.balance_ratio(),
             }
         )
@@ -143,10 +193,17 @@ class ClusterStats(ServeStats):
 def _worker_main(conn, cfg: ShardConfig) -> None:
     """Shard worker: recv batches, run them, send outcomes, repeat.
 
-    Runs until a ``("shutdown",)`` message (answered with a ``("bye",
-    ...)`` carrying the worker's metrics dump and executor stats) or
-    until the pipe closes under it (parent died — just exit).  Results
-    travel as canonical JSON — the cache's wire format — so the parent
+    Protocol (parent → worker): ``("run", [(seq, spec, remaining), …])``
+    where ``remaining`` is the request's leftover deadline budget in
+    seconds (or ``None``); ``("ping", token)`` answered with
+    ``("pong", token)`` — between batches *and* between execution
+    chunks mid-batch, so a busy worker stays visibly alive while a
+    wedged (stopped) process, which can answer nothing, does not;
+    ``("shutdown",)`` answered with ``("bye", metrics_dump,
+    exec_stats)``.  Every ``("done", replies, delta)`` carries the
+    batch's exact executor-stat delta so the parent's accounting never
+    depends on the worker surviving to say goodbye.  Results travel as
+    canonical JSON — the cache's wire format — so the parent
     reconstructs exactly what a local executor would have returned.
     """
     executor = ExperimentExecutor(
@@ -163,13 +220,45 @@ def _worker_main(conn, cfg: ShardConfig) -> None:
     l1_c = metrics.counter("serve.shard.l1_hits")
     l2_c = metrics.counter("serve.shard.l2_hits")
     failures_c = metrics.counter("serve.shard.failures")
+    deadline_c = metrics.counter("serve.shard.deadline_cancelled")
     batch_g = metrics.gauge("serve.shard.batch_size")
+
+    def encode(seq, outcome):
+        if isinstance(outcome, FailedPoint):
+            failures_c.inc()
+            return (seq, "failed", outcome)
+        blob = json.dumps(outcome.to_json_dict(), sort_keys=True)
+        return (seq, "result", blob)
+
+    backlog = deque()
+
+    def answer_pings():
+        """Drain queued liveness probes between execution chunks.
+
+        A batch can legitimately run for many heartbeat intervals, so a
+        worker that only read the pipe between batches would look
+        wedged to the supervisor while merely busy.  Answering pings at
+        chunk boundaries bounds unresponsiveness to one chunk's
+        runtime — a SIGSTOPped process still answers nothing, which is
+        exactly the signal wedge detection needs.  Non-ping messages
+        surfaced by the drain keep their order in the backlog.
+        """
+        while conn.poll(0):
+            probe = conn.recv()
+            if probe[0] == "ping":
+                conn.send(("pong", probe[1]))
+            else:
+                backlog.append(probe)
+
     try:
         while True:
             try:
-                msg = conn.recv()
+                msg = backlog.popleft() if backlog else conn.recv()
             except (EOFError, OSError):
                 return  # parent went away; nothing left to serve
+            if msg[0] == "ping":
+                conn.send(("pong", msg[1]))
+                continue
             if msg[0] == "shutdown":
                 conn.send(
                     ("bye", metrics.to_dict(), executor.stats.as_dict())
@@ -181,26 +270,36 @@ def _worker_main(conn, cfg: ShardConfig) -> None:
             requests_c.inc(len(batch))
             batches_c.inc()
             batch_g.set(len(batch))
-            before = (
-                executor.stats.executed,
-                executor.stats.l1_hits,
-                executor.stats.hits,
-            )
-            outcomes = executor.run_many([spec for _, spec in batch])
-            executed_c.inc(executor.stats.executed - before[0])
-            l1_c.inc(executor.stats.l1_hits - before[1])
-            l2_c.inc(executor.stats.hits - before[2])
+            t_recv = time.monotonic()
+            before = executor.stats.snapshot()
             replies = []
-            for (seq, _), outcome in zip(batch, outcomes):
-                if isinstance(outcome, FailedPoint):
-                    failures_c.inc()
-                    replies.append((seq, "failed", outcome))
-                else:
-                    blob = json.dumps(
-                        outcome.to_json_dict(), sort_keys=True
-                    )
-                    replies.append((seq, "result", blob))
-            conn.send(("done", replies))
+            # Chunked execution: one executor drive per `workers` specs,
+            # answering heartbeats at every boundary.  Deadline budgets
+            # are checked per spec, so a budget that lapses while
+            # earlier batchmates execute cancels the spec instead of
+            # running it.
+            step = max(1, cfg.workers)
+            for start in range(0, len(batch), step):
+                answer_pings()
+                chunk = []
+                for seq, spec, remaining in batch[start:start + step]:
+                    if (
+                        remaining is not None
+                        and time.monotonic() - t_recv >= remaining
+                    ):
+                        deadline_c.inc()
+                        replies.append((seq, "deadline", None))
+                    else:
+                        chunk.append((seq, spec))
+                if chunk:
+                    outcomes = executor.run_many([s for _, s in chunk])
+                    for (seq, _), outcome in zip(chunk, outcomes):
+                        replies.append(encode(seq, outcome))
+            delta = executor.stats.delta(before)
+            executed_c.inc(delta["executed"])
+            l1_c.inc(delta["l1_hits"])
+            l2_c.inc(delta["l2_hits"])
+            conn.send(("done", replies, delta))
     except Exception as exc:  # infra failure: tell the parent, then die
         try:
             conn.send(("crash", f"{type(exc).__name__}: {exc}"))
@@ -212,15 +311,31 @@ def _worker_main(conn, cfg: ShardConfig) -> None:
 class _ClusterFlight:
     """One unique in-flight spec at the front end."""
 
-    __slots__ = ("key", "spec", "seq", "shard", "future", "waiters")
+    __slots__ = (
+        "key", "spec", "seq", "shard", "future", "waiters",
+        "deadline", "deadline_s", "replays", "route",
+    )
 
-    def __init__(self, key, spec, seq, shard, future) -> None:
+    def __init__(
+        self, key, spec, seq, shard, future,
+        deadline=None, deadline_s=None,
+    ) -> None:
         self.key = key
         self.spec = spec
         self.seq = seq
         self.shard = shard
         self.future = future
         self.waiters = 1
+        #: Absolute (monotonic) expiry, or None.  Set by the flight's
+        #: *opening* request; joiners enforce their own budget
+        #: waiter-side.
+        self.deadline = deadline
+        self.deadline_s = deadline_s
+        #: Times this flight was orphaned by a shard death and replayed.
+        self.replays = 0
+        #: "ring" (owned by a shard worker) or "fallback" (degraded
+        #: front-end execution while the shard's breaker is open).
+        self.route = "ring"
 
 
 class _Shard:
@@ -228,10 +343,11 @@ class _Shard:
 
     __slots__ = (
         "proc", "conn", "queue", "outstanding", "inflight", "alive",
-        "bye", "bye_payload", "reader",
+        "bye", "bye_payload", "reader", "gen", "awaiting_pong",
+        "missed", "respawns", "breaker",
     )
 
-    def __init__(self, proc, conn) -> None:
+    def __init__(self, proc, conn, breaker: CircuitBreaker) -> None:
         self.proc = proc
         self.conn = conn
         self.queue: deque = deque()
@@ -241,6 +357,28 @@ class _Shard:
         self.bye = asyncio.Event()
         self.bye_payload = None
         self.reader: Optional[threading.Thread] = None
+        #: Process generation.  Bumped on every death so messages (and
+        #: the EOF) from a superseded reader thread are discarded
+        #: instead of being mistaken for the respawned worker's — the
+        #: guard against double-settling a replayed flight.
+        self.gen = 0
+        self.awaiting_pong = False
+        self.missed = 0
+        self.respawns = 0
+        self.breaker = breaker
+
+    def reset(self, proc, conn) -> None:
+        """Point this shard at a freshly respawned worker process."""
+        self.proc = proc
+        self.conn = conn
+        self.outstanding = False
+        self.alive = True
+        self.bye = asyncio.Event()
+        self.bye_payload = None
+        self.awaiting_pong = False
+        self.missed = 0
+        # Orphans already requeued by _shard_died are the new backlog.
+        self.inflight = len(self.queue)
 
 
 class StudyCluster:
@@ -249,8 +387,9 @@ class StudyCluster:
     The request API mirrors :class:`~repro.serve.service.StudyService`
     (``await submit(spec)`` → :class:`ExperimentResult`, raising
     :class:`Overloaded` / :class:`ServiceClosed` / :class:`RequestFailed`
-    plus the cluster-specific :class:`ShardDown`), so load generators,
-    the CLI and the parity tests drive either interchangeably.
+    / :class:`DeadlineExceeded` plus — with ``self_heal=False`` — the
+    cluster-specific :class:`ShardDown`), so load generators, the CLI
+    and the parity tests drive either interchangeably.
 
     Parameters
     ----------
@@ -264,17 +403,41 @@ class StudyCluster:
         Executor processes *inside* each worker (default 1: the worker
         itself is the parallelism unit).
     cache / cache_dir:
-        Give every worker the shared on-disk result cache as L2.
+        Give every worker (and the fallback path) the shared on-disk
+        result cache as L2.  Strongly recommended with ``self_heal``:
+        it is what makes replays and degraded-path responses cost a
+        cache hit instead of a re-execution.
     l1:
         Per-worker in-memory result memo (default on — it is what makes
         repeats of a served spec cost one dict lookup).
     max_pending:
-        Admission bound on unique in-flight specs *per shard*.
+        Admission bound on unique in-flight specs *per shard* (the
+        fallback path is bounded by the same number).
     max_batch:
         Max specs per pipe message / executor submission.
     obs:
         Front-end metrics/span sink; worker-side ``serve.shard.*``
         metrics are folded in at drain.
+    self_heal:
+        Supervise, respawn and replay (default).  ``False`` restores
+        the original contract: crashes surface as :class:`ShardDown`
+        and the shard stays down.
+    heartbeat_interval / heartbeat_misses:
+        Supervisor tick in seconds, and consecutive unanswered ticks
+        before a live-but-silent worker is declared wedged and killed.
+        The product is the wedge-detection budget — keep it above the
+        longest legitimate batch runtime (a worker only answers pings
+        between batches).
+    max_respawns:
+        Per-shard respawn budget (``None`` = unlimited).  A shard past
+        its budget serves its keys through the fallback path forever.
+    max_flight_replays:
+        Times one flight may die with a worker and be replayed on the
+        ring before it is routed to the fallback executor instead — the
+        guard against a poison spec that kills every worker it meets.
+    breaker_seed / breaker_base_backoff / breaker_max_backoff:
+        Deterministic decorrelated-jitter backoff of the per-shard
+        circuit breakers (:mod:`repro.serve.breaker`).
     """
 
     def __init__(
@@ -288,12 +451,28 @@ class StudyCluster:
         max_pending: int = 64,
         max_batch: int = 16,
         obs: Optional[Observability] = None,
+        self_heal: bool = True,
+        heartbeat_interval: float = 0.5,
+        heartbeat_misses: int = 6,
+        max_respawns: Optional[int] = 8,
+        max_flight_replays: int = 2,
+        breaker_seed: int = 0,
+        breaker_base_backoff: float = 0.05,
+        breaker_max_backoff: float = 2.0,
     ) -> None:
         self.router = router or ShardRouter(shards)
         if max_pending < 1:
             raise ValueError("max_pending must be >= 1")
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
+        if heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be > 0")
+        if heartbeat_misses < 1:
+            raise ValueError("heartbeat_misses must be >= 1")
+        if max_respawns is not None and max_respawns < 0:
+            raise ValueError("max_respawns must be >= 0 (or None)")
+        if max_flight_replays < 0:
+            raise ValueError("max_flight_replays must be >= 0")
         self.workers_per_shard = workers_per_shard
         self.cache = cache
         self.cache_dir = cache_dir
@@ -301,6 +480,14 @@ class StudyCluster:
         self.max_pending = max_pending
         self.max_batch = max_batch
         self.obs = obs or Observability()
+        self.self_heal = self_heal
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_misses = heartbeat_misses
+        self.max_respawns = max_respawns
+        self.max_flight_replays = max_flight_replays
+        self._breaker_cfg = (
+            breaker_seed, breaker_base_backoff, breaker_max_backoff
+        )
         n = self.router.n_shards
         self.stats = ClusterStats(
             shards=n,
@@ -311,8 +498,14 @@ class StudyCluster:
         self._flights: dict[str, _ClusterFlight] = {}
         self._by_seq: dict[int, _ClusterFlight] = {}
         self._seq = itertools.count()
+        self._ping_tokens = itertools.count()
+        self._ctx = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._idle: Optional[asyncio.Event] = None
+        self._supervisor: Optional[asyncio.Task] = None
+        self._fallback_exec: Optional[ExperimentExecutor] = None
+        self._fallback_lock: Optional[asyncio.Lock] = None
+        self._fallback_inflight = 0
         self._started = False
         self._draining = False
         self._closed = False
@@ -336,60 +529,87 @@ class StudyCluster:
         return len(self._flights)
 
     async def start(self) -> "StudyCluster":
-        """Spawn the worker processes and their pipe readers."""
+        """Spawn the worker processes, their pipe readers, and — with
+        ``self_heal`` — the supervisor task."""
         if self._started:
             return self
         if self._closed:
             raise ServiceClosed("cluster has been drained")
         self._loop = asyncio.get_running_loop()
         self._idle = asyncio.Event()
+        self._fallback_lock = asyncio.Lock()
         # fork is cheap (workers inherit the warm interpreter) and is
         # the Linux default; fall back to spawn where fork is absent.
         methods = mp.get_all_start_methods()
-        ctx = mp.get_context("fork" if "fork" in methods else "spawn")
+        self._ctx = mp.get_context("fork" if "fork" in methods else "spawn")
+        seed, base, cap = self._breaker_cfg
         for shard_id in range(self.n_shards):
-            cfg = ShardConfig(
-                shard_id=shard_id,
-                workers=self.workers_per_shard,
-                cache=self.cache,
-                cache_dir=str(self.cache_dir),
-                l1=self.l1,
+            proc, conn = self._spawn_proc(shard_id)
+            self._shards.append(
+                _Shard(
+                    proc, conn,
+                    CircuitBreaker(
+                        shard_id, seed=seed,
+                        base_backoff=base, max_backoff=cap,
+                    ),
+                )
             )
-            parent_conn, child_conn = ctx.Pipe()
-            proc = ctx.Process(
-                target=_worker_main,
-                args=(child_conn, cfg),
-                daemon=True,
-                name=f"repro-serve-shard-{shard_id}",
-            )
-            proc.start()
-            # Parent's copy of the child end must close *before* the
-            # next fork, so no sibling holds a stray write end open
-            # (that would defeat EOF-based crash detection).
-            child_conn.close()
-            self._shards.append(_Shard(proc, parent_conn))
         # Readers start only after every fork: forking a multi-threaded
-        # process is where the dragons live.
+        # process is where the dragons live.  (A later *respawn* does
+        # fork with readers running — the child execs nothing but
+        # _worker_main and touches no parent locks, the same bargain
+        # ProcessPoolExecutor makes on POSIX.)
         for shard_id, shard in enumerate(self._shards):
-            t = threading.Thread(
-                target=self._reader,
-                args=(shard_id, shard),
-                daemon=True,
-                name=f"repro-serve-reader-{shard_id}",
-            )
-            shard.reader = t
-            t.start()
+            self._start_reader(shard_id, shard)
         self._started = True
         self.obs.metrics.gauge("serve.cluster.shards").set(self.n_shards)
+        if self.self_heal:
+            self._supervisor = self._loop.create_task(
+                self._supervise(), name="repro-serve-supervisor"
+            )
         return self
+
+    def _spawn_proc(self, shard_id: int):
+        cfg = ShardConfig(
+            shard_id=shard_id,
+            workers=self.workers_per_shard,
+            cache=self.cache,
+            cache_dir=str(self.cache_dir),
+            l1=self.l1,
+        )
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, cfg),
+            daemon=True,
+            name=f"repro-serve-shard-{shard_id}",
+        )
+        proc.start()
+        # Parent's copy of the child end must close *before* the next
+        # fork, so no sibling holds a stray write end open (that would
+        # defeat EOF-based crash detection).
+        child_conn.close()
+        return proc, parent_conn
+
+    def _start_reader(self, shard_id: int, shard: _Shard) -> None:
+        t = threading.Thread(
+            target=self._reader,
+            args=(shard_id, shard.conn, shard.gen),
+            daemon=True,
+            name=f"repro-serve-reader-{shard_id}.{shard.gen}",
+        )
+        shard.reader = t
+        t.start()
 
     async def drain(self) -> None:
         """Complete all in-flight work, then retire every worker.
 
-        Idempotent.  Collects each worker's ``serve.shard.*`` metrics
-        and executor stats into :attr:`obs` / :attr:`stats` before the
-        processes exit; afterwards :meth:`submit` raises
-        :class:`ServiceClosed`.
+        Idempotent.  The supervisor keeps running while flights drain —
+        a shard dying *mid-drain* is still respawned and its orphans
+        replayed, so accepted work is never dropped — and is cancelled
+        only once the building is empty.  Collects each worker's
+        ``serve.shard.*`` metrics into :attr:`obs` before the processes
+        exit; afterwards :meth:`submit` raises :class:`ServiceClosed`.
         """
         if self._closed:
             return
@@ -398,12 +618,22 @@ class StudyCluster:
             while self._flights:
                 self._idle.clear()
                 await self._idle.wait()
+            if self._supervisor is not None:
+                # All work is settled; stop supervising so a worker
+                # dying on the way out is contained, not respawned.
+                self._supervisor.cancel()
+                try:
+                    await self._supervisor
+                except asyncio.CancelledError:
+                    pass
+                self._supervisor = None
             for shard in self._shards:
                 if shard.alive:
                     try:
                         shard.conn.send(("shutdown",))
                     except (OSError, ValueError, BrokenPipeError):
                         shard.alive = False
+                        shard.bye.set()
             await asyncio.gather(
                 *(self._collect_bye(s) for s in self._shards)
             )
@@ -441,16 +671,62 @@ class StudyCluster:
             payload = shard.bye_payload
             if payload is None:
                 continue
-            metrics_dump, exec_stats = payload
+            # Execution counts already accumulated live from the
+            # per-batch done-deltas; the bye only contributes the
+            # worker's metric registry.
+            metrics_dump, _exec_stats = payload
             self.obs.metrics.merge_dict(metrics_dump)
-            self.stats.executed += exec_stats["executed"]
-            self.stats.l1_hits += exec_stats["l1_hits"]
-            self.stats.l2_hits += exec_stats["hits"]
+
+    # -- chaos hooks ---------------------------------------------------------
+    def worker_pid(self, shard_id: int) -> Optional[int]:
+        """The shard's current worker pid (changes across respawns)."""
+        return self._shards[shard_id].proc.pid
+
+    def kill_worker(self, shard_id: int) -> None:
+        """Chaos hook: SIGKILL the shard's worker (``kill -9``).
+
+        The supervisor sees the pipe EOF, replays the shard's in-flight
+        requests and respawns the worker.  Safe to call on an
+        already-dead shard.
+        """
+        try:
+            self._shards[shard_id].proc.kill()
+        except (OSError, ValueError, AttributeError):  # pragma: no cover
+            pass
+
+    def wedge_worker(self, shard_id: int) -> None:
+        """Chaos hook: SIGSTOP the worker — alive but unresponsive.
+
+        A stopped process answers no heartbeats, so after
+        ``heartbeat_misses`` supervisor ticks it is declared wedged,
+        killed and respawned.  POSIX only.
+        """
+        if not hasattr(signal, "SIGSTOP"):  # pragma: no cover
+            raise RuntimeError("wedge_worker requires POSIX signals")
+        try:
+            os.kill(self._shards[shard_id].proc.pid, signal.SIGSTOP)
+        except (ProcessLookupError, TypeError):  # pragma: no cover
+            pass
 
     # -- the request path ----------------------------------------------------
-    async def submit(self, spec: ExperimentSpec) -> ExperimentResult:
-        """Serve one request through its key's owning shard."""
+    async def submit(
+        self,
+        spec: ExperimentSpec,
+        deadline: Optional[float] = None,
+    ) -> ExperimentResult:
+        """Serve one request through its key's owning shard.
+
+        ``deadline`` is this request's wall-clock budget in seconds.
+        The budget rides along to the worker (which cancels the spec if
+        it lapses before execution) and bounds this waiter's own wait —
+        either way the request raises :class:`DeadlineExceeded`.  A
+        joiner's budget never cancels the shared flight: the flight
+        carries its *opening* request's deadline, and the result is
+        still computed and cached for the other waiters.
+        """
         t_start = time.monotonic()
+        if deadline is not None and deadline <= 0:
+            raise ValueError("deadline must be > 0 seconds")
         self.stats.requests += 1
         self.obs.metrics.counter("serve.requests").inc()
         if self._draining or self._closed:
@@ -468,32 +744,23 @@ class StudyCluster:
             self.stats.dedup_hits += 1
             self.obs.metrics.counter("serve.dedup_hits").inc()
         else:
-            shard_id = self.router.shard_for(key)
-            shard = self._shards[shard_id]
-            if not shard.alive:
-                self.stats.failures += 1
-                self.obs.metrics.counter("serve.failures").inc()
-                raise ShardDown(shard_id, "worker process has exited")
-            if shard.inflight >= self.max_pending:
-                self.stats.rejected += 1
-                self.obs.metrics.counter("serve.rejected").inc()
-                raise Overloaded(
-                    pending=shard.inflight,
-                    retry_after=self._retry_after(shard),
-                )
-            flight = _ClusterFlight(
-                key, spec, next(self._seq), shard_id,
-                asyncio.get_running_loop().create_future(),
-            )
-            self._flights[key] = flight
-            self._by_seq[flight.seq] = flight
-            shard.inflight += 1
-            shard.queue.append(flight)
-            self._gauge_depth()
-            self._flush(shard_id)
+            flight = self._open_flight(key, spec, t_start, deadline)
         self.stats.requests_by_shard[flight.shard] += 1
         try:
-            outcome = await asyncio.shield(flight.future)
+            shielded = asyncio.shield(flight.future)
+            if deadline is not None:
+                budget = (t_start + deadline) - time.monotonic()
+                outcome = await asyncio.wait_for(
+                    shielded, timeout=max(0.0, budget)
+                )
+            else:
+                outcome = await shielded
+        except asyncio.TimeoutError:
+            self._count_deadline()
+            raise DeadlineExceeded(key, deadline) from None
+        except DeadlineExceeded:
+            self._count_deadline()
+            raise
         except (RequestFailed, ShardDown):
             self.stats.failures += 1
             self.obs.metrics.counter("serve.failures").inc()
@@ -508,67 +775,378 @@ class StudyCluster:
         )
         return outcome
 
-    def _retry_after(self, shard: _Shard) -> float:
-        """Backpressure hint: batches the shard's backlog needs, at a
-        nominal batch turnaround."""
-        backlog_batches = -(-shard.inflight // self.max_batch)
+    def _open_flight(
+        self, key: str, spec: ExperimentSpec,
+        t_start: float, deadline: Optional[float],
+    ) -> _ClusterFlight:
+        """Admit, route (ring or degraded fallback) and launch a new key."""
+        shard_id = self.router.shard_for(key)
+        shard = self._shards[shard_id]
+        route = "ring"
+        if not self.self_heal:
+            if not shard.alive:
+                self.stats.failures += 1
+                self.obs.metrics.counter("serve.failures").inc()
+                raise ShardDown(shard_id, "worker process has exited")
+        elif not shard.alive and not self._respawn_budget_left(shard):
+            route = "fallback"  # permanently down; breaker is moot
+        else:
+            prev = shard.breaker.state
+            route = shard.breaker.route(t_start)
+            if shard.breaker.state != prev:
+                self._breaker_event(shard_id, shard.breaker)
+        if route == "ring":
+            # A HALF_OPEN probe may target a dead-but-respawnable
+            # shard: the flight queues and flushes after the respawn.
+            if shard.inflight >= self.max_pending:
+                self.stats.rejected += 1
+                self.obs.metrics.counter("serve.rejected").inc()
+                raise Overloaded(
+                    pending=shard.inflight,
+                    retry_after=self._retry_after(shard.inflight),
+                )
+            flight = self._make_flight(
+                key, spec, shard_id, t_start, deadline
+            )
+            self._by_seq[flight.seq] = flight
+            shard.inflight += 1
+            shard.queue.append(flight)
+            self._gauge_depth()
+            self._flush(shard_id)
+        else:
+            if self._fallback_inflight >= self.max_pending:
+                self.stats.rejected += 1
+                self.obs.metrics.counter("serve.rejected").inc()
+                raise Overloaded(
+                    pending=self._fallback_inflight,
+                    retry_after=self._retry_after(self._fallback_inflight),
+                )
+            flight = self._make_flight(
+                key, spec, shard_id, t_start, deadline
+            )
+            flight.route = "fallback"
+            self._gauge_depth()
+            self._start_fallback(flight)
+        return flight
+
+    @staticmethod
+    def _fail_future(future, exc) -> None:
+        """Settle a flight future with an exception, pre-retrieving it:
+        a waiter whose own deadline already lapsed has abandoned the
+        future, and an unretrieved exception would be logged as a leak
+        at garbage collection.  Waiters still awaiting re-raise as
+        usual."""
+        if not future.done():
+            future.set_exception(exc)
+            future.exception()
+
+    def _make_flight(self, key, spec, shard_id, t_start, deadline):
+        flight = _ClusterFlight(
+            key, spec, next(self._seq), shard_id,
+            self._loop.create_future(),
+            deadline=None if deadline is None else t_start + deadline,
+            deadline_s=deadline,
+        )
+        self._flights[key] = flight
+        return flight
+
+    def _count_deadline(self) -> None:
+        self.stats.deadline_exceeded += 1
+        self.obs.metrics.counter("serve.deadline_exceeded").inc()
+
+    def _retry_after(self, inflight: int) -> float:
+        """Backpressure hint: batches the backlog needs, at a nominal
+        batch turnaround."""
+        backlog_batches = -(-inflight // self.max_batch)
         return 0.01 * max(1, backlog_batches)
 
     def _gauge_depth(self) -> None:
         self.obs.metrics.gauge("serve.queue_depth").set(len(self._flights))
+
+    def _check_idle(self) -> None:
+        if not self._flights and self._idle is not None:
+            self._idle.set()
+
+    def _respawn_budget_left(self, shard: _Shard) -> bool:
+        return (
+            self.max_respawns is None
+            or shard.respawns < self.max_respawns
+        )
 
     def _flush(self, shard_id: int) -> None:
         """Send the next batch if the shard's worker is free."""
         shard = self._shards[shard_id]
         if shard.outstanding or not shard.alive or not shard.queue:
             return
-        batch = [
-            shard.queue.popleft()
-            for _ in range(min(self.max_batch, len(shard.queue)))
-        ]
+        now = time.monotonic()
+        batch = []
+        while shard.queue and len(batch) < self.max_batch:
+            flight = shard.queue.popleft()
+            if flight.deadline is not None and now >= flight.deadline:
+                # Front-end-side cancellation: the budget lapsed while
+                # the flight sat in the shard queue — never send it.
+                self._expire(flight, shard)
+                continue
+            batch.append(flight)
+        if not batch:
+            self._check_idle()
+            return
         shard.outstanding = True
         self.stats.batches += 1
         self.stats.flights += len(batch)
         self.stats.flights_by_shard[shard_id] += len(batch)
         self.obs.metrics.counter("serve.batches").inc()
         self.obs.metrics.gauge("serve.batch_size").set(len(batch))
+        wire = [
+            (
+                f.seq, f.spec,
+                None if f.deadline is None else f.deadline - now,
+            )
+            for f in batch
+        ]
         try:
-            shard.conn.send(("run", [(f.seq, f.spec) for f in batch]))
+            shard.conn.send(("run", wire))
         except (OSError, ValueError, BrokenPipeError):
+            # _shard_died collects the batch's flights from
+            # self._flights (they are still registered there) and
+            # replays or fails them.
             self._shard_died(shard_id, "pipe write failed")
 
+    def _expire(self, flight: _ClusterFlight, shard: _Shard) -> None:
+        self._flights.pop(flight.key, None)
+        self._by_seq.pop(flight.seq, None)
+        shard.inflight -= 1
+        self._fail_future(
+            flight.future, DeadlineExceeded(flight.key, flight.deadline_s)
+        )
+
+    # -- the degraded fallback path ------------------------------------------
+    def _fallback_executor(self) -> ExperimentExecutor:
+        if self._fallback_exec is None:
+            self._fallback_exec = ExperimentExecutor(
+                workers=1,
+                cache=self.cache,
+                cache_dir=str(self.cache_dir),
+                l1=True,
+                keep_going=True,
+            )
+        return self._fallback_exec
+
+    def _start_fallback(self, flight: _ClusterFlight) -> None:
+        self.stats.fallbacks += 1
+        self.obs.metrics.counter("serve.fallback_requests").inc()
+        self._fallback_inflight += 1
+        self._loop.create_task(self._run_fallback(flight))
+
+    async def _run_fallback(self, flight: _ClusterFlight) -> None:
+        """Serve one flight on the front-end local executor.
+
+        Shares the L2 cache (and key space) with the workers, so a key
+        the ring already computed is a cache hit here, and a key
+        computed *here* is a cache hit when the ring recovers — the
+        degraded path changes latency, never bytes (results take the
+        same canonical-JSON round trip as the pipe).
+        """
+        try:
+            if (
+                flight.deadline is not None
+                and time.monotonic() >= flight.deadline
+            ):
+                raise DeadlineExceeded(flight.key, flight.deadline_s)
+            async with self._fallback_lock:
+                ex = self._fallback_executor()
+                before = ex.stats.snapshot()
+                outcomes = await self._loop.run_in_executor(
+                    None, lambda: ex.run_many([flight.spec])
+                )
+                self._fold_delta(ex.stats.delta(before))
+            outcome = outcomes[0]
+            if isinstance(outcome, FailedPoint):
+                self._fail_future(
+                    flight.future,
+                    RequestFailed(
+                        outcome,
+                        f"request {flight.spec.name!r} failed: "
+                        f"{outcome.error_type}: {outcome.error}",
+                    ),
+                )
+            elif not flight.future.done():
+                blob = json.dumps(
+                    outcome.to_json_dict(), sort_keys=True
+                )
+                flight.future.set_result(
+                    ExperimentResult.from_json_dict(json.loads(blob))
+                )
+        except Exception as exc:
+            if not isinstance(exc, ServeError):
+                exc = RequestFailed(
+                    None,
+                    "fallback execution failed: "
+                    f"{type(exc).__name__}: {exc}",
+                )
+            self._fail_future(flight.future, exc)
+        finally:
+            self._fallback_inflight -= 1
+            self._flights.pop(flight.key, None)
+            self._gauge_depth()
+            self._check_idle()
+
+    def _to_fallback(self, flight: _ClusterFlight) -> None:
+        """Re-route an already-admitted (orphaned) flight to the
+        fallback executor — replays never drop accepted work."""
+        self._by_seq.pop(flight.seq, None)
+        flight.route = "fallback"
+        self._start_fallback(flight)
+
+    def _fold_delta(self, delta: dict) -> None:
+        self.stats.executed += delta["executed"]
+        self.stats.l1_hits += delta["l1_hits"]
+        self.stats.l2_hits += delta["l2_hits"]
+
+    # -- supervision ---------------------------------------------------------
+    async def _supervise(self) -> None:
+        """Heartbeat every worker; kill the wedged; respawn the dead.
+
+        Runs until drain cancels it (after the last flight settles, so
+        mid-drain deaths are still healed).
+        """
+        while True:
+            await asyncio.sleep(self.heartbeat_interval)
+            for shard_id, shard in enumerate(self._shards):
+                try:
+                    self._tick(shard_id, shard)
+                except Exception:  # pragma: no cover - must not die
+                    self.obs.metrics.counter(
+                        "serve.supervisor_errors"
+                    ).inc()
+
+    def _tick(self, shard_id: int, shard: _Shard) -> None:
+        if shard.alive:
+            if not shard.proc.is_alive():
+                # EOF normally beats us to it; belt and braces for a
+                # pipe end kept open by an inherited descriptor.
+                self._shard_died(shard_id, "worker process exited")
+                return
+            if shard.awaiting_pong:
+                shard.missed += 1
+                self.stats.heartbeat_misses += 1
+                self.obs.metrics.counter(
+                    "serve.shard.heartbeat_misses"
+                ).inc()
+                if shard.missed >= self.heartbeat_misses:
+                    self._kill_shard(
+                        shard_id,
+                        f"wedged: {shard.missed} heartbeats missed",
+                    )
+            else:
+                try:
+                    shard.conn.send(("ping", next(self._ping_tokens)))
+                    shard.awaiting_pong = True
+                except (OSError, ValueError, BrokenPipeError):
+                    self._shard_died(shard_id, "pipe write failed (ping)")
+        elif not self._draining or shard.queue:
+            if self._respawn_budget_left(shard):
+                self._respawn(shard_id, shard)
+            elif shard.queue:  # pragma: no cover - defensive
+                for flight in list(shard.queue):
+                    self._to_fallback(flight)
+                shard.queue.clear()
+                shard.inflight = 0
+
+    def _kill_shard(self, shard_id: int, detail: str) -> None:
+        """Forcibly terminate a wedged worker, then run the death path
+        (replay + breaker) exactly as if it had crashed."""
+        try:
+            self._shards[shard_id].proc.kill()
+        except (OSError, ValueError, AttributeError):  # pragma: no cover
+            pass
+        self._shard_died(shard_id, detail)
+
+    def _respawn(self, shard_id: int, shard: _Shard) -> None:
+        try:
+            proc, conn = self._spawn_proc(shard_id)
+        except OSError:  # pragma: no cover - retry next tick
+            return
+        shard.reset(proc, conn)
+        self._start_reader(shard_id, shard)
+        shard.respawns += 1
+        self.stats.respawns += 1
+        self.obs.metrics.counter("serve.shard.respawns").inc()
+        t = time.monotonic() - self._t0
+        self.obs.add_span(
+            "serve.shard.respawn", "serve", t, t,
+            track="serve", shard=shard_id, generation=shard.gen,
+        )
+        # Replay the orphans _shard_died queued for this shard.
+        self._flush(shard_id)
+
+    def _breaker_event(self, shard_id: int, brk: CircuitBreaker) -> None:
+        """Record a breaker state *transition* (caller checks it moved)."""
+        self.obs.metrics.gauge("serve.shard.breaker_state").set(brk.state)
+        t = time.monotonic() - self._t0
+        self.obs.add_span(
+            "serve.shard.breaker", "serve", t, t,
+            track="serve", shard=shard_id, state=brk.state_name,
+        )
+        if brk.state == breaker_mod.OPEN:
+            self.stats.breaker_opens += 1
+            self.obs.metrics.counter("serve.shard.breaker_opens").inc()
+        elif brk.state == breaker_mod.CLOSED:
+            self.stats.breaker_closes += 1
+            self.obs.metrics.counter("serve.shard.breaker_closes").inc()
+
     # -- worker messages (loop thread; scheduled by the readers) -------------
-    def _reader(self, shard_id: int, shard: _Shard) -> None:
-        """Blocking pipe reader (one daemon thread per worker)."""
+    def _reader(self, shard_id: int, conn, gen: int) -> None:
+        """Blocking pipe reader (one daemon thread per worker process).
+
+        Bound to one process *generation*: after a death bumps
+        ``shard.gen``, anything this thread still delivers (including
+        its EOF) is discarded on the loop thread.
+        """
         try:
             while True:
-                msg = shard.conn.recv()
+                msg = conn.recv()
                 self._loop.call_soon_threadsafe(
-                    self._on_message, shard_id, msg
+                    self._on_message, shard_id, gen, msg
                 )
                 if msg[0] in ("bye", "crash"):
                     return
         except (EOFError, OSError):
-            self._loop.call_soon_threadsafe(self._on_eof, shard_id)
+            self._loop.call_soon_threadsafe(self._on_eof, shard_id, gen)
 
-    def _on_message(self, shard_id: int, msg) -> None:
+    def _on_message(self, shard_id: int, gen: int, msg) -> None:
         shard = self._shards[shard_id]
+        if gen != shard.gen:
+            return  # a superseded generation; its flights were replayed
         kind = msg[0]
         if kind == "done":
-            for seq, outcome_kind, payload in msg[1]:
+            replies, delta = msg[1], msg[2]
+            self._fold_delta(delta)
+            shard.missed = 0
+            if self.self_heal and shard.breaker.state != breaker_mod.CLOSED:
+                prev = shard.breaker.state
+                shard.breaker.record_success()
+                if shard.breaker.state != prev:
+                    self._breaker_event(shard_id, shard.breaker)
+            for seq, outcome_kind, payload in replies:
                 flight = self._by_seq.pop(seq, None)
                 if flight is None:  # pragma: no cover - protocol guard
                     continue
                 if outcome_kind == "failed":
                     point: FailedPoint = payload
-                    if not flight.future.done():
-                        flight.future.set_exception(
-                            RequestFailed(
-                                point,
-                                f"request {flight.spec.name!r} failed: "
-                                f"{point.error_type}: {point.error}",
-                            )
-                        )
+                    self._fail_future(
+                        flight.future,
+                        RequestFailed(
+                            point,
+                            f"request {flight.spec.name!r} failed: "
+                            f"{point.error_type}: {point.error}",
+                        ),
+                    )
+                elif outcome_kind == "deadline":
+                    self._fail_future(
+                        flight.future,
+                        DeadlineExceeded(flight.key, flight.deadline_s),
+                    )
                 else:
                     result = ExperimentResult.from_json_dict(
                         json.loads(payload)
@@ -580,8 +1158,10 @@ class StudyCluster:
             shard.outstanding = False
             self._gauge_depth()
             self._flush(shard_id)
-            if not self._flights and self._idle is not None:
-                self._idle.set()
+            self._check_idle()
+        elif kind == "pong":
+            shard.awaiting_pong = False
+            shard.missed = 0
         elif kind == "bye":
             shard.bye_payload = (msg[1], msg[2])
             shard.alive = False
@@ -589,30 +1169,74 @@ class StudyCluster:
         elif kind == "crash":
             self._shard_died(shard_id, msg[1])
 
-    def _on_eof(self, shard_id: int) -> None:
+    def _on_eof(self, shard_id: int, gen: int) -> None:
         shard = self._shards[shard_id]
+        if gen != shard.gen:
+            return  # EOF of a generation already declared dead
         if shard.bye_payload is not None or not shard.alive:
             return  # clean shutdown (or already handled)
         self._shard_died(shard_id, "worker pipe closed unexpectedly")
 
     def _shard_died(self, shard_id: int, detail: str) -> None:
-        """Fail everything routed to a dead shard; keep the rest alive."""
+        """One shard's worker is gone.  With ``self_heal``: open the
+        breaker and queue its orphaned flights for replay (or degrade
+        them to the fallback path); without: fail them with
+        :class:`ShardDown` and leave the shard down."""
         shard = self._shards[shard_id]
         if not shard.alive:
             return
         shard.alive = False
+        # Invalidate the old reader: anything it still delivers is for
+        # a flight we are about to replay — processing it would settle
+        # the flight twice (once now, once after the replay executes).
+        shard.gen += 1
+        shard.awaiting_pong = False
+        shard.missed = 0
+        shard.outstanding = False
         shard.bye.set()  # a drain waiting on this shard must not hang
         self.stats.shard_crashes += 1
         self.obs.metrics.counter("serve.shard_crashes").inc()
-        dead = [f for f in self._flights.values() if f.shard == shard_id]
-        for flight in dead:
-            if not flight.future.done():
-                flight.future.set_exception(ShardDown(shard_id, detail))
-            self._flights.pop(flight.key, None)
-            self._by_seq.pop(flight.seq, None)
+        affected = sorted(
+            (
+                f for f in self._flights.values()
+                if f.shard == shard_id and f.route == "ring"
+            ),
+            key=lambda f: f.seq,
+        )
         shard.queue.clear()
-        shard.inflight = 0
-        shard.outstanding = False
+        if not self.self_heal:
+            for flight in affected:
+                self._fail_future(
+                    flight.future, ShardDown(shard_id, detail)
+                )
+                self._flights.pop(flight.key, None)
+                self._by_seq.pop(flight.seq, None)
+            shard.inflight = 0
+        else:
+            prev = shard.breaker.state
+            shard.breaker.record_failure(time.monotonic())
+            if shard.breaker.state != prev:
+                self._breaker_event(shard_id, shard.breaker)
+            respawnable = self._respawn_budget_left(shard)
+            requeued = 0
+            for flight in affected:
+                flight.replays += 1
+                if (
+                    not respawnable
+                    or flight.replays > self.max_flight_replays
+                ):
+                    # A flight that keeps dying with workers may be a
+                    # poison spec — isolate it on the fallback path
+                    # instead of taking another worker down.
+                    self._to_fallback(flight)
+                else:
+                    shard.queue.append(flight)
+                    requeued += 1
+            shard.inflight = len(shard.queue)
+            if requeued:
+                self.stats.replayed += requeued
+                self.obs.metrics.counter("serve.shard.replayed").inc(
+                    requeued
+                )
         self._gauge_depth()
-        if not self._flights and self._idle is not None:
-            self._idle.set()
+        self._check_idle()

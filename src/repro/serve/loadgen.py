@@ -16,14 +16,21 @@ This module replays exactly that, reproducibly:
 - :func:`run_load` fires a mix at any target with an async
   ``submit(spec)`` — a :class:`~repro.serve.service.StudyService` or a
   :class:`~repro.serve.cluster.StudyCluster` — under bounded
-  concurrency, retrying backpressure rejections;
+  concurrency, retrying backpressure rejections with seeded
+  decorrelated-jitter backoff (deterministic for a fixed mix seed, yet
+  never synchronized into a thundering herd);
+- :class:`ChaosPlan` grows the replay a seeded fault schedule — kill
+  -9 this shard's worker when request K is issued, wedge (SIGSTOP)
+  that one — driving the cluster's self-healing path mid-replay;
 - :func:`scoreboard` turns the outcome into the numbers that matter
   (throughput, dedupe ratio, p50/p95/p99, per-shard balance) plus a
-  SHA-256 **digest over the deterministic fields only** (universe keys,
-  sequence, response payloads, execution counts — never wall-clock), so
-  two runs of the same seeded mix must report the same digest, and a
-  cluster that matches the single-process service byte-for-byte reports
-  the *same digest as the service*.
+  SHA-256 **digest over the seed-determined fields only** (universe
+  keys, sequence, response payloads, error count — never wall-clock,
+  and never execution counts, which a kill landing between a worker's
+  cache write and its reply can legitimately shift by one), so two
+  runs of the same seeded mix must report the same digest: cluster vs
+  single service, chaos vs calm.  Execution/dedupe exactness is gated
+  separately, where the run's fault budget is known.
 """
 
 from __future__ import annotations
@@ -185,6 +192,76 @@ class ZipfianMix:
         return [self.universe[i] for i in self.sequence]
 
 
+@dataclass(frozen=True)
+class ChaosOp:
+    """One scheduled fault: ``kind`` (``"kill"`` → SIGKILL the worker,
+    ``"wedge"`` → SIGSTOP it) applied to ``shard`` when request
+    ``at_request`` of the replay acquires its concurrency slot."""
+
+    kind: str
+    shard: int
+    at_request: int
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A seeded fault schedule for one replay.
+
+    :meth:`build` picks distinct victim shards and mid-replay trigger
+    points (in the middle half of the sequence, so faults land while
+    traffic is genuinely in flight) from
+    ``random.Random(f"chaos:{seed}:{n_shards}:{n_requests}")`` — the
+    same seed plans the same faults on every run, which is what lets
+    the chaos gate compare digests against a no-chaos run of the same
+    mix.
+    """
+
+    ops: tuple
+    seed: int = 0
+
+    @classmethod
+    def build(
+        cls,
+        n_shards: int,
+        n_requests: int,
+        kills: int = 1,
+        wedges: int = 0,
+        seed: int = 0,
+    ) -> "ChaosPlan":
+        if kills < 0 or wedges < 0:
+            raise ValueError("kills and wedges must be >= 0")
+        if kills + wedges > n_shards:
+            raise ValueError(
+                "at most one fault per shard: "
+                f"kills+wedges={kills + wedges} > n_shards={n_shards}"
+            )
+        if kills + wedges and n_requests < 4:
+            raise ValueError("chaos needs a replay of at least 4 requests")
+        rng = random.Random(f"chaos:{seed}:{n_shards}:{n_requests}")
+        victims = rng.sample(range(n_shards), kills + wedges)
+        lo = n_requests // 4
+        hi = max(lo + 1, (3 * n_requests) // 4)
+        ops = [
+            ChaosOp(
+                kind="kill" if i < kills else "wedge",
+                shard=shard,
+                at_request=rng.randrange(lo, hi),
+            )
+            for i, shard in enumerate(victims)
+        ]
+        ops.sort(key=lambda op: (op.at_request, op.shard, op.kind))
+        return cls(ops=tuple(ops), seed=seed)
+
+
+def _apply_chaos(target, op: ChaosOp) -> None:
+    if op.kind == "kill":
+        target.kill_worker(op.shard)
+    elif op.kind == "wedge":
+        target.wedge_worker(op.shard)
+    else:  # pragma: no cover - plan construction guards this
+        raise ValueError(f"unknown chaos op kind {op.kind!r}")
+
+
 @dataclass
 class LoadReport:
     """What one replay produced: payloads, latencies, wall-clock."""
@@ -198,23 +275,66 @@ class LoadReport:
     #: Overloaded rejections that were retried (not errors).
     retries: int = 0
     errors: int = 0
+    #: Requests that exhausted the retry ceiling (a subset of errors).
+    overload_exhausted: int = 0
+    #: The server's last ``retry_after`` hint seen before a request
+    #: gave up — what the operator needs to re-tune the ceiling.
+    last_retry_after: Optional[float] = None
+    #: Chaos ops actually fired during the replay.
+    chaos_applied: int = 0
 
 
 async def run_load(
     target,
     mix: ZipfianMix,
     concurrency: int = 32,
+    max_retries: Optional[int] = None,
+    chaos: Optional[ChaosPlan] = None,
+    retry_cap: float = 1.0,
 ) -> LoadReport:
     """Replay ``mix`` against ``target`` (anything with an async
     ``submit(spec)``), at most ``concurrency`` requests in flight.
 
     Requests are *issued* in sequence order; completions interleave
     freely (that is the point of a concurrent replay).  ``Overloaded``
-    rejections wait out ``retry_after`` and retry, up to
-    :data:`MAX_RETRIES` times.
+    rejections back off and retry up to ``max_retries`` times after the
+    first attempt (:data:`MAX_RETRIES` when ``None``; ``0`` = fail on
+    the first rejection).  The backoff starts from the server's
+    ``retry_after`` hint but spreads with decorrelated jitter —
+    ``min(retry_cap, uniform(hint, 3 × previous_sleep))`` from a
+    per-request ``random.Random(f"loadgen-retry:{seed}:{idx}")`` — so
+    rejected requests never reconverge into a thundering herd, while a
+    fixed mix seed still draws the exact same sleep schedule.
+
+    ``chaos`` schedules worker faults into the replay (cluster targets
+    only — the target must expose ``kill_worker`` / ``wedge_worker``);
+    each op fires when its trigger request acquires a concurrency slot,
+    i.e. genuinely mid-replay.
     """
     if concurrency < 1:
         raise ValueError("concurrency must be >= 1")
+    if max_retries is None:
+        max_retries = MAX_RETRIES
+    if max_retries < 0:
+        raise ValueError("max_retries must be >= 0")
+    if retry_cap <= 0:
+        raise ValueError("retry_cap must be > 0")
+    ops_at: dict[int, list[ChaosOp]] = {}
+    if chaos is not None and chaos.ops:
+        if not (
+            hasattr(target, "kill_worker") and hasattr(target, "wedge_worker")
+        ):
+            raise TypeError(
+                "chaos plans need a cluster target with "
+                "kill_worker/wedge_worker hooks"
+            )
+        for op in chaos.ops:
+            if op.at_request >= mix.n_requests:
+                raise ValueError(
+                    f"chaos op at request {op.at_request} beyond the "
+                    f"{mix.n_requests}-request sequence"
+                )
+            ops_at.setdefault(op.at_request, []).append(op)
     report = LoadReport(mix=mix)
     report.payloads = [None] * mix.n_requests
     report.latencies = [None] * mix.n_requests
@@ -222,8 +342,14 @@ async def run_load(
 
     async def one(idx: int, spec: ExperimentSpec) -> None:
         async with gate:
+            for op in ops_at.pop(idx, ()):
+                _apply_chaos(target, op)
+                report.chaos_applied += 1
             t0 = time.monotonic()
-            for _ in range(MAX_RETRIES):
+            rng = None
+            prev_sleep = 0.0
+            last_hint = None
+            for attempt in range(max_retries + 1):
                 try:
                     result = await target.submit(spec)
                     report.payloads[idx] = json.dumps(
@@ -232,8 +358,20 @@ async def run_load(
                     report.latencies[idx] = time.monotonic() - t0
                     return
                 except Overloaded as exc:
+                    last_hint = exc.retry_after
+                    if attempt == max_retries:
+                        break  # ceiling hit; no point sleeping again
                     report.retries += 1
-                    await asyncio.sleep(exc.retry_after)
+                    if rng is None:
+                        rng = random.Random(
+                            f"loadgen-retry:{mix.seed}:{idx}"
+                        )
+                    base = max(1e-4, exc.retry_after)
+                    prev_sleep = min(
+                        retry_cap,
+                        rng.uniform(base, max(base, prev_sleep) * 3),
+                    )
+                    await asyncio.sleep(prev_sleep)
                 except Exception as exc:
                     report.payloads[idx] = f"ERROR:{type(exc).__name__}"
                     report.latencies[idx] = time.monotonic() - t0
@@ -242,6 +380,8 @@ async def run_load(
             report.payloads[idx] = "ERROR:Overloaded"
             report.latencies[idx] = time.monotonic() - t0
             report.errors += 1
+            report.overload_exhausted += 1
+            report.last_retry_after = last_hint
 
     t0 = time.monotonic()
     await asyncio.gather(
@@ -266,9 +406,14 @@ def scoreboard(
     (executor stats for a service, summed worker stats for a cluster);
     ``per_shard`` is the cluster's request balance, when there is one.
     The ``digest`` covers only seed-determined data — universe keys,
-    sequence, response payloads, execution/dedupe counts — so it is
-    invariant across runs, hash seeds, *and* across single-service vs
-    cluster targets when their responses match byte-for-byte.
+    sequence, response payloads, error count — so it is invariant
+    across runs, hash seeds, *and* across single-service vs cluster
+    targets when their responses match byte-for-byte, *and* across
+    chaos vs calm runs of the same mix.  Execution/dedupe counts are
+    reported (and gated by callers that know the run's fault budget)
+    but deliberately excluded from the digest: a worker killed in the
+    instant between its cache write and its reply legitimately shifts
+    ``executed`` by one without changing a single response byte.
     """
     n = report.mix.n_requests
     dedupe = n - executed
@@ -284,8 +429,6 @@ def scoreboard(
             else "MISSING"
             for p in report.payloads
         ],
-        "executed": executed,
-        "dedupe": dedupe,
         "errors": report.errors,
     }
     digest = hashlib.sha256(

@@ -24,6 +24,14 @@ minimally disruptive
     shard claims (expected 1/(N+1) of them); every key that moves, moves
     *to* the new shard.  A resize never reshuffles traffic between
     surviving shards, so their L1 caches stay warm.
+
+Stability is also what makes the cluster's *respawn* path sound: a
+worker that dies and is replaced by a fresh process keeps its shard id,
+and because the ring is a pure function of ``(n_shards, replicas,
+salt)`` — never of process identity, pids or uptime — every key routes
+back to the original shard id after the respawn.  :meth:`signature`
+fingerprints the ring layout so that invariant is directly assertable
+(two routers with equal signatures route every key identically).
 """
 
 from __future__ import annotations
@@ -89,6 +97,20 @@ class ShardRouter:
         if i == len(self._ring):  # wrap past the last ring point
             i = 0
         return self._owner[i]
+
+    def signature(self) -> str:
+        """SHA-256 fingerprint of the ring layout.
+
+        Two routers with equal signatures route every key identically —
+        the respawn invariant the cluster leans on: the router survives
+        a worker respawn untouched, so its signature (and therefore
+        every key->shard decision) is the same before and after.
+        """
+        h = hashlib.sha256()
+        for point, owner in zip(self._ring, self._owner):
+            h.update(point.to_bytes(8, "big"))
+            h.update(owner.to_bytes(4, "big"))
+        return h.hexdigest()
 
     def assignment(self, keys) -> dict[int, list[str]]:
         """Group ``keys`` by owning shard (all shards present, even if

@@ -86,6 +86,26 @@ class ServiceClosed(ServeError):
     """Request refused: the service is draining or has shut down."""
 
 
+class DeadlineExceeded(ServeError):
+    """The request's deadline lapsed before its flight landed.
+
+    Raised by :meth:`StudyCluster.submit(spec, deadline=...)
+    <repro.serve.cluster.StudyCluster.submit>` — either because the
+    waiter's own budget ran out while it waited on a shared flight, or
+    because the owning worker cancelled the spec before executing it
+    (worker-side cancellation: a queued spec whose budget lapsed is
+    never run).  ``deadline`` is the request's budget in seconds.
+    """
+
+    def __init__(self, key: str, deadline: float) -> None:
+        super().__init__(
+            f"request deadline of {deadline:.3f}s exceeded "
+            f"(key {key[:12]}…)"
+        )
+        self.key = key
+        self.deadline = deadline
+
+
 class RequestFailed(ServeError):
     """The simulation behind a request failed deterministically.
 

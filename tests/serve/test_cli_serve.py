@@ -144,7 +144,25 @@ def test_zipf_validation_and_mode_exclusivity(capsys):
     assert main(["--zipf", "-0.5"]) == 2
     assert main(["--zipf", "1.1", "--requests", "0"]) == 2
     assert main(["--burst", "4", "--shards", "-1"]) == 2
+    assert main(["--zipf", "1.1", "--max-retries", "-1"]) == 2
     capsys.readouterr()
+
+
+def test_retry_ceiling_exhaustion_reports_hint_and_exits_1(capsys):
+    # One admission slot, no retries allowed: most of the concurrent
+    # replay gives up immediately, and the error line must surface the
+    # ceiling and the server's retry_after hint.
+    rc = main([
+        "--zipf", "1.1", "--requests", "12", "--universe", "6",
+        "--seed", "7", "--fig", "fig3", "--nodes", "4",
+        "--max-pending", "1", "--concurrency", "12",
+        "--max-retries", "0",
+    ])
+    captured = capsys.readouterr()
+    assert rc == 1
+    assert "retry ceiling (0 retries)" in captured.err
+    assert "retry_after" in captured.err
+    assert "--max-retries" in captured.err
 
 
 def test_parser_defaults():
@@ -160,6 +178,8 @@ def test_parser_defaults():
     assert args.seed == 0
     assert args.concurrency == 32
     assert args.l1 is None
+    assert args.max_retries is None  # None -> the loadgen ceiling
+    assert args.self_heal is True
 
 
 def test_request_dialect_strictness():

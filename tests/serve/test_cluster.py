@@ -254,6 +254,9 @@ def _die_on_fig3(spec, with_obs):
 
 
 def test_shard_crash_is_contained(monkeypatch):
+    # self_heal=False pins the original containment contract: the dead
+    # shard stays down and its keys fail fast with ShardDown.  (The
+    # self-healing path has its own suite in test_selfheal.py.)
     monkeypatch.setattr(executor_mod, "_execute_spec", _die_on_fig3)
     fig3 = cheap_spec()
     # fig1 variants pre-sorted by owning shard, so the test can pick a
@@ -265,7 +268,9 @@ def test_shard_crash_is_contained(monkeypatch):
     assert fig1_by_shard[0] and fig1_by_shard[1]
 
     async def scenario():
-        async with StudyCluster(shards=2, router=router) as cluster:
+        async with StudyCluster(
+            shards=2, router=router, self_heal=False
+        ) as cluster:
             with pytest.raises(ShardDown) as exc_info:
                 await cluster.submit(fig3)
             dead = exc_info.value.shard

@@ -67,6 +67,43 @@ def test_routing_is_hashseed_free():
     )
 
 
+# --------------------------- respawn stability -------------------------------
+
+
+@given(
+    keys=st.lists(KEYS, min_size=1, max_size=20),
+    n=st.integers(1, 8),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_respawn_routes_keys_back_to_their_shard(keys, n):
+    """The self-healing invariant: a worker respawn replaces a process
+    but never the ring, so every key routes back to its original shard
+    id — including keys first seen only after the respawn.  Equal ring
+    signatures certify equal routing for *all* keys, not just the
+    sampled ones."""
+    before = ShardRouter(n)
+    owners = {k: before.shard_for(k) for k in keys}
+    # A respawned cluster holds the *same* router object; the stand-in
+    # for "a fresh front end after a crash" is a fresh identical ring.
+    after = ShardRouter(n)
+    assert after.signature() == before.signature()
+    for k, owner in owners.items():
+        assert after.shard_for(k) == owner
+
+
+@given(n=st.integers(1, 8))
+@settings(max_examples=8, deadline=None)
+def test_property_signature_distinguishes_ring_shapes(n):
+    base = ShardRouter(n)
+    assert ShardRouter(n).signature() == base.signature()
+    assert ShardRouter(n + 1).signature() != base.signature()
+    assert ShardRouter(n, salt="other").signature() != base.signature()
+    assert (
+        ShardRouter(n, replicas=DEFAULT_REPLICAS // 2).signature()
+        != base.signature()
+    )
+
+
 # ------------------------------- balance -------------------------------------
 
 
