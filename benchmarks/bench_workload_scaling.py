@@ -1,0 +1,198 @@
+#!/usr/bin/env python
+"""Workload-registry scaling: new workloads vs their documented curves.
+
+The workload registry (:mod:`repro.workloads`) exists so the container
+study measures more than one traffic shape; this bench is the gate that
+the two non-Alya built-ins actually scale the way their registry
+entries document, under the full Lenox runtime matrix and with a fault
+plan active (scaling claims that only hold on a perfect machine are
+not claims about the study pipeline).
+
+Per workload (``stencil``, ``graph``; ``alya`` too in full mode), via
+:class:`~repro.core.study_ext.WorkloadScalingStudy`:
+
+- **strong scaling** — fixed default work model over the node axis
+  under all four runtimes (bare-metal / Docker / Singularity /
+  Shifter), a deterministic straggler fault plan armed.  Gate: every
+  point's parallel efficiency vs the ideal linear-speedup curve lies in
+  ``[strong_efficiency_floor, 1.05]`` — the floor each workload class
+  documents;
+- **weak scaling** — constant cells per node.  Gate: the step-time
+  growth factor stays within the documented ``weak_growth_ceiling``;
+- **character contrast** — the halo-exchange stencil must strong-scale
+  strictly better than the collective-bound graph workload at the
+  largest node count (if it does not, the two new workloads are not
+  exercising different corners of the communication space and the
+  registry is not buying scenario coverage).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_workload_scaling.py           # full
+    PYTHONPATH=src python benchmarks/bench_workload_scaling.py --quick   # CI
+    PYTHONPATH=src python benchmarks/bench_workload_scaling.py --quick --check
+
+``--check`` exits non-zero on any gate violation; ``--out FILE`` writes
+the measured curves as JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.core.figures import ascii_table  # noqa: E402
+from repro.core.study_ext import WorkloadScalingStudy  # noqa: E402
+from repro.faults import FaultPlan  # noqa: E402
+from repro.workloads import get_workload  # noqa: E402
+
+#: One deterministic straggler episode (rate x horizon = 1 event) whose
+#: duration blankets the whole run: enough to prove the fault subsystem
+#: is in the loop — the documented gate bounds must absorb it — without
+#: the uneven event stacking that would fake superlinear efficiency.
+FAULT_SPEC = (
+    "seed=11,straggler_rate=2,straggler_factor=1.5,duration=30,horizon=0.5"
+)
+
+EFFICIENCY_CEILING = 1.05
+
+
+def run_workload(workload: str, quick: bool, fault_plan) -> dict:
+    """Both scaling modes for one workload; returns curves + verdicts."""
+    nodes = (1, 2) if quick else (1, 2, 4)
+    sim_steps = 1 if quick else 2
+    entry = get_workload(workload)
+    out: dict = {
+        "workload": workload,
+        "strong_efficiency_floor": entry.strong_efficiency_floor,
+        "weak_growth_ceiling": entry.weak_growth_ceiling,
+        "modes": {},
+        "gates": {},
+    }
+    for mode in ("strong", "weak"):
+        t0 = time.perf_counter()
+        outcome = WorkloadScalingStudy(
+            workload=workload,
+            mode=mode,
+            nodes=nodes,
+            sim_steps=sim_steps,
+            fault_plan=fault_plan,
+        ).run()
+        wall = time.perf_counter() - t0
+        curves = {}
+        gate_ok = True
+        for label in outcome.results:
+            series = outcome.series(label)
+            counts = sorted(series)
+            effs = outcome.efficiencies(label)
+            growth = max(series.values()) / series[counts[0]]
+            curves[label] = {
+                "step_seconds": {str(n): series[n] for n in counts},
+                "ideal_seconds": {
+                    str(n): v for n, v in outcome.ideal_series(label).items()
+                },
+                "efficiency": {str(n): effs[n] for n in counts},
+                "growth": growth,
+            }
+            if mode == "strong":
+                gate_ok &= all(
+                    entry.strong_efficiency_floor <= e <= EFFICIENCY_CEILING
+                    for e in effs.values()
+                )
+            else:
+                gate_ok &= growth <= entry.weak_growth_ceiling
+        out["modes"][mode] = {"curves": curves, "wall_seconds": wall}
+        out["gates"][mode] = gate_ok
+    return out
+
+
+def print_report(results: "list[dict]") -> None:
+    for res in results:
+        for mode, payload in res["modes"].items():
+            bound = (
+                f"eff >= {res['strong_efficiency_floor']}"
+                if mode == "strong"
+                else f"growth <= {res['weak_growth_ceiling']}"
+            )
+            ok = "PASS" if res["gates"][mode] else "FAIL"
+            print(
+                f"\n{res['workload']} — {mode} scaling "
+                f"(documented bound: {bound}) [{ok}]"
+            )
+            rows = []
+            for label, curve in payload["curves"].items():
+                for n, step in curve["step_seconds"].items():
+                    rows.append([
+                        label, n, f"{step:.6f}",
+                        f"{curve['ideal_seconds'][n]:.6f}",
+                        f"{curve['efficiency'][n]:.3f}",
+                    ])
+            print(ascii_table(
+                ["variant", "nodes", "step [s]", "ideal [s]", "efficiency"],
+                rows,
+            ))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized grid (2 node counts, 1 sim step, "
+                             "stencil+graph only)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 on any gate violation")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="write measured curves as JSON")
+    args = parser.parse_args(argv)
+
+    fault_plan = FaultPlan.load(FAULT_SPEC)
+    workloads = ["stencil", "graph"] if args.quick else [
+        "alya", "stencil", "graph",
+    ]
+    results = [run_workload(w, args.quick, fault_plan) for w in workloads]
+    print_report(results)
+
+    gates = {
+        f"{res['workload']}.{mode}": ok
+        for res in results
+        for mode, ok in res["gates"].items()
+    }
+    # Character contrast: at the largest node count, the p2p stencil
+    # must strong-scale strictly better than the collective-bound graph.
+    by_name = {res["workload"]: res for res in results}
+    sten = by_name["stencil"]["modes"]["strong"]["curves"]["bare-metal"]
+    graph = by_name["graph"]["modes"]["strong"]["curves"]["bare-metal"]
+    top = max(int(n) for n in sten["efficiency"])
+    contrast = (
+        sten["efficiency"][str(top)] > graph["efficiency"][str(top)]
+    )
+    gates["stencil_beats_graph"] = contrast
+    print(f"\ncharacter contrast at {top} nodes: stencil efficiency "
+          f"{sten['efficiency'][str(top)]:.3f} vs graph "
+          f"{graph['efficiency'][str(top)]:.3f} "
+          f"[{'PASS' if contrast else 'FAIL'}]")
+
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(
+                {"results": results, "gates": gates, "fault_plan": FAULT_SPEC},
+                fh, indent=2, sort_keys=True,
+            )
+            fh.write("\n")
+        print(f"\nwrote {args.out}")
+
+    failed = sorted(name for name, ok in gates.items() if not ok)
+    if failed:
+        print(f"\nGATE FAILURES: {', '.join(failed)}", file=sys.stderr)
+        return 1 if args.check else 0
+    print("\nall gates pass")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

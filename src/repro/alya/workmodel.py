@@ -102,6 +102,16 @@ class AlyaWorkModel:
                     "an FSI model needs solid_flops_per_step and "
                     "interface_cells"
                 )
+        elif self.solid_flops_per_step != 0.0 or self.interface_cells != 0:
+            # The inverse check: a CFD model carrying coupling parameters
+            # is a mislabelled case, not a cheaper FSI — the solid cost
+            # would be silently dropped by the CFD lowering.
+            raise ValueError(
+                "a CFD model must not carry FSI parameters (got "
+                f"solid_flops_per_step={self.solid_flops_per_step}, "
+                f"interface_cells={self.interface_cells}); "
+                "use case=CaseKind.FSI for a coupled run"
+            )
 
     # -- per-partition quantities ------------------------------------------------
     def cells_per_part(self, n_parts: int, imbalance: float = 1.05) -> float:

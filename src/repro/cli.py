@@ -14,6 +14,9 @@ Examples
     repro-study all                  # everything, with shape checks
     repro-study trace --fig fig1     # Chrome trace + metrics + digest
     repro-study trace --fig fig3 --nodes 8 --out /tmp/t
+    repro-study trace --fig fig1 --workload stencil
+    repro-study scaling --workload stencil   # strong+weak vs ideal
+    repro-study scaling --workload graph --sim-steps 1
     repro-study faults               # fault-sensitivity study
     repro-study fig2 --fault-plan 'seed=7,link_rate=20,horizon=0.4'
     repro-study fig3 --keep-going --resume .repro-ckpt
@@ -221,7 +224,6 @@ def _trace(args) -> bool:
     from pathlib import Path
 
     from repro.containers.recipes import BuildTechnique
-    from repro.core import calibration
     from repro.core.experiment import EndpointGranularity, ExperimentSpec
     from repro.core.runner import ExperimentRunner
     from repro.obs import (
@@ -231,40 +233,47 @@ def _trace(args) -> bool:
         trace_digest,
         write_chrome_trace,
     )
+    from repro.workloads import get_workload
 
+    # The registry fills in the case; Alya trace names keep their
+    # historical form (the golden-digest fixtures encode them).
+    workmodel = get_workload(args.workload).default_workmodel(args.fig)
+    tag = "" if args.workload == "alya" else f"{args.workload}-"
     if args.fig == "fig1":
         runtime = args.runtime or "docker"
         spec = ExperimentSpec(
-            name=f"trace-fig1-{runtime}",
+            name=f"trace-fig1-{tag}{runtime}",
             cluster=catalog.LENOX,
             runtime_name=runtime,
             technique=(
                 None if runtime == "bare-metal"
                 else BuildTechnique.SELF_CONTAINED
             ),
-            workmodel=calibration.lenox_cfd_workmodel(),
+            workmodel=workmodel,
             n_nodes=args.nodes,
             ranks_per_node=7,
             threads_per_rank=4,
             sim_steps=_steps(args),
             granularity=EndpointGranularity.RANK,
+            workload=args.workload,
         )
     else:  # fig3
         runtime = args.runtime or "singularity"
         spec = ExperimentSpec(
-            name=f"trace-fig3-{runtime}",
+            name=f"trace-fig3-{tag}{runtime}",
             cluster=catalog.MARENOSTRUM4,
             runtime_name=runtime,
             technique=(
                 None if runtime == "bare-metal"
                 else BuildTechnique.SYSTEM_SPECIFIC
             ),
-            workmodel=calibration.mn4_fsi_workmodel(),
+            workmodel=workmodel,
             n_nodes=args.nodes,
             ranks_per_node=catalog.MARENOSTRUM4.node.cores,
             threads_per_rank=1,
             sim_steps=_steps(args),
             granularity=EndpointGranularity.NODE,
+            workload=args.workload,
         )
 
     obs = Observability()
@@ -300,6 +309,68 @@ def _trace(args) -> bool:
     return recon
 
 
+def _scaling(args) -> bool:
+    from repro.core.study_ext import WorkloadScalingStudy
+    from repro.workloads import get_workload
+
+    bounds = get_workload(args.workload)
+    ok = True
+    for mode in ("strong", "weak"):
+        out = WorkloadScalingStudy(
+            workload=args.workload,
+            mode=mode,
+            sim_steps=_steps(args),
+            executor=_executor(args),
+            fault_plan=_fault_plan(args),
+        ).run()
+        ideal = (
+            "linear speedup" if mode == "strong" else "flat step time"
+        )
+        print(f"{mode.capitalize()} scaling — workload "
+              f"'{args.workload}' on Lenox, four runtimes "
+              f"(ideal: {ideal})\n")
+        rows = []
+        for label in out.results:
+            series = out.series(label)
+            ideal_s = out.ideal_series(label)
+            for n in series:
+                rows.append([
+                    label, n,
+                    f"{series[n]:.6f}",
+                    f"{ideal_s[n]:.6f}",
+                    f"{out.efficiency(label, n):.3f}",
+                ])
+        print(ascii_table(
+            ["variant", "nodes", "step [s]", "ideal [s]", "efficiency"],
+            rows,
+        ))
+        # Gate against the workload's documented envelope (set on its
+        # registry class; see docs/workloads.md).
+        for label in out.results:
+            series = out.series(label)
+            counts = sorted(series)
+            if mode == "strong":
+                effs = out.efficiencies(label)
+                good = all(
+                    bounds.strong_efficiency_floor <= eff <= 1.05
+                    for eff in effs.values()
+                )
+                detail = {n: round(e, 3) for n, e in effs.items()}
+                expect = (f"efficiency in "
+                          f"[{bounds.strong_efficiency_floor}, 1.05]")
+            else:
+                growth = max(series.values()) / series[counts[0]]
+                good = growth <= bounds.weak_growth_ceiling
+                detail = round(growth, 2)
+                expect = f"growth <= {bounds.weak_growth_ceiling}"
+            if not good:
+                print(f"  [FAIL] {label}: {mode} {detail} "
+                      f"(documented bound: {expect})")
+                ok = False
+        print()
+    return ok
+
+
 def _claims(args) -> bool:
     from repro.core.paper_reference import claims_table
 
@@ -319,12 +390,14 @@ _COMMANDS: dict[str, Callable] = {
     "claims": _claims,
     "microbench": _microbench,
     "trace": _trace,
+    "scaling": _scaling,
 }
 
-#: ``all`` regenerates the read-only artefacts; ``trace`` writes files and
-#: ``faults`` deliberately perturbs runs, so both only run when named
-#: explicitly.
-_ALL_EXCLUDES = {"trace", "faults"}
+#: ``all`` regenerates the read-only artefacts; ``trace`` writes files,
+#: ``faults`` deliberately perturbs runs, and ``scaling`` is an
+#: extension study parameterised by ``--workload`` (not a paper
+#: artefact), so all three only run when named explicitly.
+_ALL_EXCLUDES = {"trace", "faults", "scaling"}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -406,6 +479,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="per-experiment wall-clock timeout (default: none)",
     )
+    parser.add_argument(
+        "--workload",
+        default="alya",
+        metavar="NAME",
+        help="registered workload for the trace/scaling artefacts "
+             "(default alya; see repro.workloads)",
+    )
     group = parser.add_argument_group("trace options")
     group.add_argument(
         "--fig",
@@ -461,6 +541,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.workers is not None and args.workers < 1:
         print("error: --workers must be >= 1", file=sys.stderr)
         return 2
+    if args.workload != "alya":
+        from repro.workloads import list_workloads
+
+        if args.workload not in list_workloads():
+            print(
+                f"error: unknown --workload {args.workload!r}; "
+                f"registered: {', '.join(list_workloads())}",
+                file=sys.stderr,
+            )
+            return 2
     ok = True
     for i, name in enumerate(names):
         if i:

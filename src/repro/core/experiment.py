@@ -6,7 +6,6 @@ import enum
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.alya.workmodel import AlyaWorkModel
 from repro.containers.compat import (
     CompatibilityError,
     check_admin_for_daemon,
@@ -45,7 +44,9 @@ class ExperimentSpec:
     technique:
         Image build technique (ignored for bare-metal).
     workmodel:
-        The case to run.
+        The case to run: any work-model dataclass exposing ``n_cells``,
+        ``nominal_timesteps`` and ``memory_per_node(n_nodes)``, accepted
+        by the spec's :attr:`workload`.
     n_nodes / ranks_per_node / threads_per_rank:
         Job geometry; ranks*threads must fit the node.
     sim_steps:
@@ -60,7 +61,10 @@ class ExperimentSpec:
     cluster: ClusterSpec
     runtime_name: str
     technique: Optional[BuildTechnique]
-    workmodel: AlyaWorkModel
+    #: Duck-typed work model (``n_cells``, ``nominal_timesteps``,
+    #: ``memory_per_node``); its concrete type is policed by the
+    #: :attr:`workload`'s registry entry.
+    workmodel: object
     n_nodes: int
     ranks_per_node: int
     threads_per_rank: int = 1
@@ -80,6 +84,10 @@ class ExperimentSpec:
     #: perfect machine, byte-identical to a build without the fault
     #: subsystem.
     fault_plan: Optional[FaultPlan] = None
+    #: Which registered application model runs
+    #: (:mod:`repro.workloads`); part of the spec key, so the same
+    #: geometry under two workloads can never alias one cache entry.
+    workload: str = "alya"
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1 or self.ranks_per_node < 1 or self.threads_per_rank < 1:
@@ -101,6 +109,12 @@ class ExperimentSpec:
         check_admin_for_daemon(self.runtime_name, self.cluster)
         if self.runtime_name.lower() != "bare-metal" and self.technique is None:
             raise ValueError("containerised runs need a build technique")
+        # Workload lookup + work-model type check.  Imported lazily:
+        # repro.workloads imports the Alya app, which sits below this
+        # module in the layering.
+        from repro.workloads import get_workload
+
+        get_workload(self.workload).validate_spec(self)
         # Memory guardrail: the per-node share of the mesh must fit DRAM
         # (sbatch would accept the job; the first allocation would OOM).
         needed = self.workmodel.memory_per_node(self.n_nodes)

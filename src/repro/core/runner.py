@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.alya.app import ComputeContext, SimulatedAlya
+from repro.alya.app import ComputeContext
 from repro.core import calibration
 from repro.core.deployment import build_image, make_distribution, make_runtime
 from repro.core.experiment import EndpointGranularity, ExperimentSpec
@@ -49,6 +49,10 @@ class ExperimentRunner:
         """Execute ``spec``; thread ``obs`` (an
         :class:`repro.obs.span.Observability`) through every pipeline stage
         when given."""
+        # Lazy: repro.workloads imports the Alya app and calibration,
+        # which import this package — top-level would be circular.
+        from repro.workloads import get_workload
+
         env = Environment()
         if obs is not None:
             obs.bind(env)
@@ -145,9 +149,8 @@ class ExperimentRunner:
                 endpoint_is_node=endpoint_is_node,
                 ranks_per_node=spec.ranks_per_node,
             )
-            app = SimulatedAlya(
-                spec.workmodel, ctx, sim_steps=spec.sim_steps, obs=obs,
-                faults=injector,
+            app = get_workload(spec.workload).build_app(
+                spec, ctx, obs=obs, faults=injector
             )
             job_comm = comm
             requeues = 0
@@ -213,11 +216,14 @@ class ExperimentRunner:
             r for r in job_result.rank_results if hasattr(r, "fractions")
         ]
         if phase_results:
-            keys = ("compute", "halo", "collective", "coupling")
-            totals = {k: 0.0 for k in keys}
+            # Accumulate whatever buckets the workload reports (Alya's
+            # PhaseTimes always yields compute/halo/collective/coupling
+            # in that order, so its aggregate is unchanged; phase
+            # programs may add others, e.g. "io").
+            totals: dict[str, float] = {}
             for pt in phase_results:
                 for k, v in pt.fractions().items():
-                    totals[k] += v
+                    totals[k] = totals.get(k, 0.0) + v
             phase_fractions = {
                 k: v / len(phase_results) for k, v in totals.items()
             }

@@ -9,6 +9,10 @@ outcomes, and deterministic results.
 - :class:`DeploymentScalingStudy` — §B.1's deployment metrics along the
   node axis: image-file runtimes stay flat, Docker's registry fan-out
   grows with the node count.
+- :class:`WorkloadScalingStudy` — strong/weak scaling of any registered
+  workload (:mod:`repro.workloads`) under all four Lenox runtimes, with
+  the ideal curve (linear speedup / flat step time) and per-point
+  parallel efficiency computed for comparison.
 """
 
 from __future__ import annotations
@@ -37,6 +41,7 @@ from repro.oskernel.nodeos import NodeOS
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.exec.executor import ExperimentExecutor
+    from repro.faults.plan import FaultPlan
     from repro.obs.span import Observability
 
 
@@ -201,3 +206,173 @@ class DeploymentScalingStudy:
                 n: self._deploy_once(cls, kind, n) for n in self.nodes
             }
         return outcome
+
+
+@dataclass
+class WorkloadScalingOutcome:
+    """Scaling series per runtime variant, plus the ideal-curve math.
+
+    ``results`` maps variant label → node count →
+    :class:`ExperimentResult` (failed keep-going points are dropped from
+    the series).  The *ideal* reference is the classic one measured from
+    each variant's own smallest run: linear speedup for strong scaling
+    (``T(n) = T(base) * base / n``), a flat step time for weak scaling
+    (``T(n) = T(base)``); efficiency is measured-vs-ideal, 1.0 = ideal.
+    """
+
+    workload: str
+    mode: str
+    results: "dict[str, dict[int, ExperimentResult]]"
+
+    def series(self, label: str) -> "dict[int, float]":
+        """node count → measured average step seconds for one variant."""
+        return {
+            n: r.avg_step_seconds
+            for n, r in sorted(self.results[label].items())
+            if isinstance(r, ExperimentResult)
+        }
+
+    def ideal_series(self, label: str) -> "dict[int, float]":
+        """node count → ideal step seconds (from the smallest run)."""
+        series = self.series(label)
+        base = min(series)
+        if self.mode == "strong":
+            return {n: series[base] * base / n for n in series}
+        return {n: series[base] for n in series}
+
+    def speedup(self, label: str, n: int) -> float:
+        """Measured speedup of ``n`` nodes over the variant's base."""
+        series = self.series(label)
+        return series[min(series)] / series[n]
+
+    def efficiency(self, label: str, n: int) -> float:
+        """Measured / ideal at ``n`` nodes (1.0 = perfect scaling)."""
+        return self.ideal_series(label)[n] / self.series(label)[n]
+
+    def efficiencies(self, label: str) -> "dict[int, float]":
+        return {n: self.efficiency(label, n) for n in self.series(label)}
+
+
+class WorkloadScalingStudy:
+    """Strong/weak scaling of one registered workload on Lenox.
+
+    Lenox is the one catalogue machine with all four runtimes installed
+    (and the admin rights Docker's daemon needs), so the default grid is
+    the full bare-metal / Docker / Singularity / Shifter comparison the
+    paper runs for Alya — applied to any workload the registry knows.
+
+    ``mode="strong"`` fixes the work model and drives the node axis
+    through :class:`~repro.core.sweep.Sweep` (which forwards the
+    ``workload`` field to every spec); ``mode="weak"`` rebuilds the
+    model per node count at ``cells_per_node`` cells each, so the ideal
+    step time is flat.
+    """
+
+    FOUR_RUNTIMES: tuple[tuple[str, str, Optional[BuildTechnique]], ...] = (
+        ("bare-metal", "bare-metal", None),
+        ("docker", "docker", BuildTechnique.SELF_CONTAINED),
+        ("singularity", "singularity", BuildTechnique.SELF_CONTAINED),
+        ("shifter", "shifter", BuildTechnique.SELF_CONTAINED),
+    )
+
+    def __init__(
+        self,
+        workload: str = "stencil",
+        mode: str = "strong",
+        nodes: tuple[int, ...] = (1, 2, 4),
+        sim_steps: int = 2,
+        cluster: Optional[ClusterSpec] = None,
+        workmodel: Optional[object] = None,
+        cells_per_node: Optional[int] = None,
+        variants: Optional[tuple] = None,
+        executor: "Optional[ExperimentExecutor]" = None,
+        fault_plan: "Optional[FaultPlan]" = None,
+    ) -> None:
+        if mode not in ("strong", "weak"):
+            raise ValueError("mode must be 'strong' or 'weak'")
+        from repro.workloads import get_workload
+
+        self.workload = workload
+        self._entry = get_workload(workload)  # fail fast on a typo
+        self.mode = mode
+        self.nodes = tuple(sorted(set(nodes)))
+        if not self.nodes:
+            raise ValueError("need at least one node count")
+        self.sim_steps = sim_steps
+        self.cluster = cluster or catalog.LENOX
+        self.workmodel = (
+            workmodel
+            if workmodel is not None
+            else self._entry.default_workmodel("fig1")
+        )
+        if cells_per_node is None:
+            cells_per_node = max(
+                1, self.workmodel.n_cells // max(self.nodes)
+            )
+        if cells_per_node < 1:
+            raise ValueError("cells_per_node must be >= 1")
+        self.cells_per_node = cells_per_node
+        self.variants = tuple(variants) if variants else self.FOUR_RUNTIMES
+        self.executor = executor or _default_executor()
+        self.fault_plan = fault_plan
+
+    # Lenox fig-1 geometry (7 ranks x 4 threads = 28 cores).
+    RANKS_PER_NODE = 7
+    THREADS_PER_RANK = 4
+
+    def _weak_model(self, n: int):
+        return dataclasses.replace(
+            self.workmodel, n_cells=self.cells_per_node * n
+        )
+
+    def run(
+        self, obs: "Optional[Observability]" = None
+    ) -> WorkloadScalingOutcome:
+        from repro.core.sweep import Sweep
+
+        results: dict[str, dict[int, ExperimentResult]] = {}
+        if self.mode == "strong":
+            sweep = Sweep(
+                cluster=self.cluster,
+                workmodel=self.workmodel,
+                variants=self.variants,
+                nodes=self.nodes,
+                ranks_per_node=self.RANKS_PER_NODE,
+                threads_per_rank=self.THREADS_PER_RANK,
+                sim_steps=self.sim_steps,
+                executor=self.executor,
+                fault_plan=self.fault_plan,
+                workload=self.workload,
+            )
+            for point, result in sweep.run(obs=obs).rows:
+                results.setdefault(point.label, {})[point.n_nodes] = result
+            return WorkloadScalingOutcome(
+                workload=self.workload, mode=self.mode, results=results
+            )
+        grid = [
+            (label, rt, tech, n)
+            for label, rt, tech in self.variants
+            for n in self.nodes
+        ]
+        specs = [
+            ExperimentSpec(
+                name=f"weak-{self.workload}-{label}-{n}",
+                cluster=self.cluster,
+                runtime_name=rt,
+                technique=tech,
+                workmodel=self._weak_model(n),
+                n_nodes=n,
+                ranks_per_node=self.RANKS_PER_NODE,
+                threads_per_rank=self.THREADS_PER_RANK,
+                sim_steps=self.sim_steps,
+                fault_plan=self.fault_plan,
+                workload=self.workload,
+            )
+            for label, rt, tech, n in grid
+        ]
+        run_results = self.executor.run_many(specs, obs=obs)
+        for (label, _, _, n), result in zip(grid, run_results):
+            results.setdefault(label, {})[n] = result
+        return WorkloadScalingOutcome(
+            workload=self.workload, mode=self.mode, results=results
+        )

@@ -16,7 +16,6 @@ from typing import Callable, Iterable, Optional, Sequence
 
 from typing import TYPE_CHECKING
 
-from repro.alya.workmodel import AlyaWorkModel
 from repro.containers.recipes import BuildTechnique
 from repro.core.experiment import EndpointGranularity, ExperimentSpec
 from repro.core.metrics import ExperimentResult
@@ -163,8 +162,10 @@ class Sweep:
 
     Parameters
     ----------
-    cluster / workmodel:
-        Fixed for the whole sweep.
+    cluster / workmodel / workload:
+        Fixed for the whole sweep; ``workload`` names the registered
+        application model the ``workmodel`` belongs to (default
+        ``"alya"``).
     variants:
         ``(label, runtime_name, technique)`` triples.
     nodes:
@@ -182,7 +183,7 @@ class Sweep:
     def __init__(
         self,
         cluster: ClusterSpec,
-        workmodel: AlyaWorkModel,
+        workmodel: object,
         variants: Sequence[tuple[str, str, Optional[BuildTechnique]]],
         nodes: Iterable[int],
         ranks_per_node: Optional[int] = None,
@@ -191,11 +192,13 @@ class Sweep:
         granularity: EndpointGranularity = EndpointGranularity.AUTO,
         executor: "Optional[ExperimentExecutor]" = None,
         fault_plan: "Optional[FaultPlan]" = None,
+        workload: str = "alya",
     ) -> None:
         if not variants:
             raise ValueError("a sweep needs at least one variant")
         self.cluster = cluster
         self.workmodel = workmodel
+        self.workload = workload
         self.variants = list(variants)
         self.nodes = sorted(set(nodes))
         if not self.nodes:
@@ -234,6 +237,7 @@ class Sweep:
                     sim_steps=self.sim_steps,
                     granularity=self.granularity,
                     fault_plan=self.fault_plan,
+                    workload=self.workload,
                 )
                 out.append((point, spec))
         return out

@@ -29,7 +29,10 @@ from repro.core.experiment import ExperimentSpec
 #: v2: sets canonicalise element-wise (recursively, with a type-tagged
 #: sort) instead of via ``str()`` — ``{1}`` and ``{"1"}`` used to
 #: collide to the same key.
-KEY_VERSION = 2
+#: v3: specs carry a ``workload`` field (the registry name); payloads
+#: gained a key, so every pre-workload entry must read as a miss rather
+#: than alias the Alya default.
+KEY_VERSION = 3
 
 
 def _set_sort_key(canon: Any) -> "tuple[str, str]":

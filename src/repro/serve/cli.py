@@ -202,6 +202,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="container runtime for --burst (default: per-figure)",
     )
     src.add_argument(
+        "--workload", default="alya", metavar="NAME",
+        help="registered workload for --burst / --zipf (default alya; "
+             "see repro.workloads)",
+    )
+    src.add_argument(
         "--nodes", type=int, default=2, metavar="N",
         help="nodes for --burst / --zipf (default 2)",
     )
@@ -348,22 +353,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
             return 2
     elif args.burst is not None:
-        groups = [
-            RequestGroup(
-                spec=build_spec(
-                    args.fig, args.runtime, args.nodes, args.sim_steps
-                ),
-                count=args.burst,
+        try:
+            spec = build_spec(
+                args.fig, args.runtime, args.nodes, args.sim_steps,
+                workload=args.workload,
             )
-        ]
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        groups = [RequestGroup(spec=spec, count=args.burst)]
     else:
-        mix = ZipfianMix.build(
-            default_universe(
+        try:
+            universe = default_universe(
                 args.universe,
                 fig=args.fig,
                 nodes=args.nodes,
                 sim_steps=args.sim_steps,
-            ),
+                workload=args.workload,
+            )
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        mix = ZipfianMix.build(
+            universe,
             args.requests,
             s=args.zipf,
             seed=args.seed,

@@ -50,6 +50,7 @@ from repro.exec.speckey import spec_key
 from repro.serve.requests import build_spec
 from repro.serve.router import ShardRouter
 from repro.serve.service import Overloaded, ServeStats
+from repro.workloads import get_workload
 
 #: Retry ceiling for Overloaded rejections before a request is recorded
 #: as an error (the generator paces itself off ``retry_after``).
@@ -84,32 +85,59 @@ def zipfian_sequence(
     return [bisect_left(cdf, rng.random()) for _ in range(n_requests)]
 
 
+def ensure_distinct_keys(specs: Sequence[ExperimentSpec]) -> None:
+    """Raise if any two specs share a :func:`spec_key`.
+
+    The universes below can only mint distinct keys because each variant
+    perturbs the work model; a caller concatenating universes (or a
+    nudge that stops reaching the key — the original bug was nudged
+    models built outside spec construction) would otherwise collapse
+    requests into one cache entry and silently inflate the dedupe
+    ratio.  Universe builders call this before returning.
+    """
+    seen: dict[str, str] = {}
+    for spec in specs:
+        key = spec_key(spec)
+        if key in seen:
+            raise ValueError(
+                f"universe key collision: {spec.name!r} and "
+                f"{seen[key]!r} both map to {key[:16]}…"
+            )
+        seen[key] = spec.name
+
+
 def default_universe(
     n: int,
     fig: str = "fig1",
     nodes: int = 2,
     sim_steps: int = 1,
+    workload: str = "alya",
 ) -> list[ExperimentSpec]:
     """``n`` distinct-key, equal-cost specs on one figure shape.
 
-    Each variant nudges the work model's cell count by ``i`` — a new
+    Each variant rebuilds the spec through :func:`build_spec` (so it is
+    validated exactly like a real request — never a hand-assembled
+    model) and asks the ``workload``'s registry entry for variant ``i``
+    via :meth:`~repro.workloads.base.Workload.nudge` — a new
     :func:`~repro.exec.speckey.spec_key` per variant, with a cost
     difference of one part in millions (the simulations stay
     comparable, which is what a balance measurement needs).
     """
     if n < 1:
         raise ValueError("universe size must be >= 1")
-    base = build_spec(fig, nodes=nodes, sim_steps=sim_steps)
+    base = build_spec(fig, nodes=nodes, sim_steps=sim_steps,
+                      workload=workload)
+    wl = get_workload(workload)
     out = []
     for i in range(n):
-        wm = dataclasses.replace(
-            base.workmodel, n_cells=base.workmodel.n_cells + i
-        )
         out.append(
             dataclasses.replace(
-                base, name=f"{base.name}-u{i:03d}", workmodel=wm
+                base,
+                name=f"{base.name}-u{i:03d}",
+                workmodel=wl.nudge(base.workmodel, i),
             )
         )
+    ensure_distinct_keys(out)
     return out
 
 
@@ -119,6 +147,7 @@ def balanced_universe(
     fig: str = "fig1",
     nodes: int = 2,
     sim_steps: int = 1,
+    workload: str = "alya",
 ) -> list[ExperimentSpec]:
     """Like :func:`default_universe`, but the ``n`` variants are chosen
     (deterministically) so the router spreads them as evenly as shard
@@ -133,15 +162,16 @@ def balanced_universe(
     quota = -(-n // router.n_shards)  # ceil
     counts = [0] * router.n_shards
     out: list[ExperimentSpec] = []
-    base = build_spec(fig, nodes=nodes, sim_steps=sim_steps)
+    base = build_spec(fig, nodes=nodes, sim_steps=sim_steps,
+                      workload=workload)
+    wl = get_workload(workload)
     i = 0
     limit = 1000 * n  # deterministic search, bounded
     while len(out) < n and i < limit:
-        wm = dataclasses.replace(
-            base.workmodel, n_cells=base.workmodel.n_cells + i
-        )
         spec = dataclasses.replace(
-            base, name=f"{base.name}-u{i:03d}", workmodel=wm
+            base,
+            name=f"{base.name}-u{i:03d}",
+            workmodel=wl.nudge(base.workmodel, i),
         )
         shard = router.shard_for(spec_key(spec))
         if counts[shard] < quota:
@@ -150,6 +180,7 @@ def balanced_universe(
         i += 1
     if len(out) < n:  # pragma: no cover - would need a pathological ring
         raise RuntimeError("could not balance the universe; ring too skewed")
+    ensure_distinct_keys(out)
     return out
 
 

@@ -9,12 +9,16 @@ shape plus the knobs that matter for traffic replay::
     {"fig": "fig1", "runtime": "docker",      "nodes": 2, "count": 32}
     {"fig": "fig3", "runtime": "singularity", "nodes": 8, "count": 4,
      "sim_steps": 1, "delay_ms": 10}
+    {"fig": "fig1", "workload": "stencil",    "nodes": 2, "count": 8}
 
-``fig`` picks the cluster/workmodel template (Lenox CFD for ``fig1``,
-MareNostrum4 FSI for ``fig3`` — the same shapes ``repro-study trace``
-drives); ``count`` replays the request that many times concurrently;
-``delay_ms`` sleeps before the group is fired, to shape bursts.
-Unknown keys are rejected so a typo cannot silently change a replay.
+``fig`` picks the cluster/geometry template (Lenox-sized for ``fig1``,
+MareNostrum4-sized for ``fig3`` — the same shapes ``repro-study trace``
+drives); ``workload`` picks the registered application model whose
+:meth:`~repro.workloads.base.Workload.default_workmodel` fills the case
+(default ``alya``); ``count`` replays the request that many times
+concurrently; ``delay_ms`` sleeps before the group is fired, to shape
+bursts.  Unknown keys are rejected so a typo cannot silently change a
+replay.
 """
 
 from __future__ import annotations
@@ -23,12 +27,14 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.containers.recipes import BuildTechnique
-from repro.core import calibration
 from repro.core.experiment import EndpointGranularity, ExperimentSpec
 from repro.hardware import catalog
+from repro.workloads import get_workload
 
 #: Request-dialect keys the replay scripts may use.
-_ALLOWED_KEYS = {"fig", "runtime", "nodes", "sim_steps", "count", "delay_ms"}
+_ALLOWED_KEYS = {
+    "fig", "runtime", "nodes", "sim_steps", "count", "delay_ms", "workload",
+}
 
 _DEFAULT_RUNTIME = {"fig1": "docker", "fig3": "singularity"}
 
@@ -47,8 +53,18 @@ def build_spec(
     runtime: Optional[str] = None,
     nodes: int = 2,
     sim_steps: int = 1,
+    workload: str = "alya",
 ) -> ExperimentSpec:
-    """An :class:`ExperimentSpec` for one of the paper's figure shapes."""
+    """An :class:`ExperimentSpec` for one of the paper's figure shapes.
+
+    The work model comes from the ``workload``'s registry entry — every
+    serve spec goes through the same
+    :meth:`~repro.workloads.base.Workload.default_workmodel` path, so a
+    request can never pair a workload with a foreign work model.  Alya
+    spec names keep their historical ``serve-{fig}-{runtime}-n{nodes}``
+    form (the trace/scoreboard fixtures encode them); other workloads
+    tag the name with the workload.
+    """
     if fig not in ("fig1", "fig3"):
         raise ValueError(f"unknown figure shape {fig!r} (fig1|fig3)")
     if nodes < 1:
@@ -56,36 +72,40 @@ def build_spec(
     if sim_steps < 1:
         raise ValueError("sim_steps must be >= 1")
     runtime = runtime or _DEFAULT_RUNTIME[fig]
+    workmodel = get_workload(workload).default_workmodel(fig)
+    tag = "" if workload == "alya" else f"{workload}-"
     if fig == "fig1":
         return ExperimentSpec(
-            name=f"serve-fig1-{runtime}-n{nodes}",
+            name=f"serve-fig1-{tag}{runtime}-n{nodes}",
             cluster=catalog.LENOX,
             runtime_name=runtime,
             technique=(
                 None if runtime == "bare-metal"
                 else BuildTechnique.SELF_CONTAINED
             ),
-            workmodel=calibration.lenox_cfd_workmodel(),
+            workmodel=workmodel,
             n_nodes=nodes,
             ranks_per_node=7,
             threads_per_rank=4,
             sim_steps=sim_steps,
             granularity=EndpointGranularity.RANK,
+            workload=workload,
         )
     return ExperimentSpec(
-        name=f"serve-fig3-{runtime}-n{nodes}",
+        name=f"serve-fig3-{tag}{runtime}-n{nodes}",
         cluster=catalog.MARENOSTRUM4,
         runtime_name=runtime,
         technique=(
             None if runtime == "bare-metal"
             else BuildTechnique.SYSTEM_SPECIFIC
         ),
-        workmodel=calibration.mn4_fsi_workmodel(),
+        workmodel=workmodel,
         n_nodes=nodes,
         ranks_per_node=catalog.MARENOSTRUM4.node.cores,
         threads_per_rank=1,
         sim_steps=sim_steps,
         granularity=EndpointGranularity.NODE,
+        workload=workload,
     )
 
 
@@ -110,6 +130,7 @@ def parse_request(payload: dict) -> RequestGroup:
         runtime=payload.get("runtime"),
         nodes=int(payload.get("nodes", 2)),
         sim_steps=int(payload.get("sim_steps", 1)),
+        workload=str(payload.get("workload", "alya")),
     )
     return RequestGroup(spec=spec, count=count, delay_ms=delay_ms)
 

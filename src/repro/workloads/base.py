@@ -1,0 +1,467 @@
+"""The workload interface: phase programs that lower to the DES.
+
+A *workload* is an application model the simulator can run in place of
+Alya: it owns a work-model dataclass (the per-step cost description that
+rides on :class:`~repro.core.experiment.ExperimentSpec`), and it knows
+how to turn that model into the SPMD generator each simulated endpoint
+executes.  Two lowering styles coexist:
+
+- :class:`Workload` is the minimal contract — ``build_app`` returns any
+  object with a ``rank_body(comm, ep)`` generator.  The Alya port uses
+  it directly so :class:`~repro.alya.app.SimulatedAlya`'s hand-written
+  lowering (and its byte-identical golden traces) stay untouched.
+- :class:`PhasedWorkload` is the declarative style new workloads should
+  use: per-step the workload emits a tuple of *phases* —
+  :class:`ComputePhase`, :class:`HaloPhase`, :class:`CollectivePhase`,
+  :class:`IOPhase` — and the shared :class:`PhasedApp` compiles them to
+  DES events exactly the way ``SimulatedAlya`` lowers its own steps
+  (compute as straggler-scaled timeouts, halos as non-blocking
+  neighbour sendrecv joined with
+  :class:`~repro.des.events.JoinAll`, collectives through
+  :mod:`repro.mpi.collectives`, IO as shared-filesystem transfers).
+
+Determinism contract (every workload must honour it — the executor
+cache, the golden-trace suite and the serving digests all assume it):
+
+- ``phases()`` must be a pure function of ``(work, ctx, n_endpoints,
+  step)`` — no RNG, no wall clock, no dict/set iteration whose order
+  can leak into phase order or op ids;
+- op ids must be distinct per phase within one step (the step's op
+  window is :data:`OPS_PER_STEP` wide; collective round tags live at
+  ``op * 1024 + round``, so consecutive integer offsets are safe for
+  up to 1024 internal rounds);
+- observability markers are emitted by the lowering, named after each
+  phase, on the endpoint's ``ep-{n}`` track — a workload never touches
+  ``obs`` directly.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from dataclasses import dataclass, field
+from typing import ClassVar, Optional, Sequence
+
+from repro.des.events import JoinAll
+from repro.mpi import collectives
+from repro.mpi.comm import SimComm
+from repro.mpi.datatypes import collective_tag
+
+#: Op-id stride reserved for one simulated time step (matches
+#: :mod:`repro.alya.app` so phase programs and the Alya lowering share
+#: the same tag arithmetic).
+OPS_PER_STEP = 2048
+
+
+def compute_seconds(flops: float, ctx) -> float:
+    """Wall seconds of ``flops`` of arithmetic under ``ctx``.
+
+    The same pipeline ``SimulatedAlya`` applies: sustained (not peak)
+    core flop rate, the OpenMP threading model, and the container
+    runtime's CPU overhead multiplier.
+    """
+    if flops < 0:
+        raise ValueError("flops must be >= 0")
+    serial = flops / ctx.sustained_core_flops
+    threaded = ctx.omp.threaded_time(serial, ctx.threads_per_rank)
+    return threaded * ctx.cpu_overhead
+
+
+def grid_neighbors(
+    rankmap, ep: int, endpoint_is_node: bool, topology: str = "grid"
+) -> "list[tuple[int, int]]":
+    """Neighbours of endpoint ``ep`` as ``(neighbor, axis)`` pairs.
+
+    The same layout :meth:`repro.alya.app.SimulatedAlya.neighbors`
+    models: a (nodes x per-node-slot) process grid where axis 0 links
+    consecutive endpoints on one node (shared memory) and axis 1 links
+    the same slot on adjacent nodes (fabric); ``"chain"`` is the 1-D
+    slab partition (at most two neighbours).  In node mode the grid
+    degenerates to a chain of nodes.
+    """
+    if topology == "chain":
+        out: list[tuple[int, int]] = []
+        if ep > 0:
+            out.append((ep - 1, 0))
+        if ep < rankmap.n_ranks - 1:
+            out.append((ep + 1, 0))
+        return out
+    per_node = 1 if endpoint_is_node else rankmap.ranks_per_node
+    node, j = divmod(ep, per_node) if per_node > 1 else (ep, 0)
+    if endpoint_is_node:
+        node, j = ep, 0
+    out = []
+    if per_node > 1:
+        if j > 0:
+            out.append((ep - 1, 0))
+        if j < per_node - 1 and ep + 1 < rankmap.n_ranks:
+            out.append((ep + 1, 0))
+    if node > 0:
+        out.append((ep - per_node, 1))
+    if node < rankmap.n_nodes - 1 and ep + per_node < rankmap.n_ranks:
+        out.append((ep + per_node, 1))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# The phase IR.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ComputePhase:
+    """Arithmetic: ``seconds`` of wall time on the endpoint.
+
+    The lowering scales it by the endpoint node's straggler factor when
+    a fault injector is armed (exactly like the Alya compute phase).
+    """
+
+    name: str
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise ValueError("compute seconds must be >= 0")
+
+
+@dataclass(frozen=True)
+class HaloPhase:
+    """Nearest-neighbour exchange: ``nbytes`` with every grid neighbour.
+
+    Lowered to non-blocking sends/receives joined at the end — the
+    latency-bound p2p pattern collectives never exercise.  ``op`` is the
+    phase's offset inside the step's op window (distinct per phase).
+    """
+
+    name: str
+    nbytes: float
+    op: int
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError("halo nbytes must be >= 0")
+        if not 0 <= self.op < OPS_PER_STEP:
+            raise ValueError(f"op offset must be in [0, {OPS_PER_STEP})")
+
+
+#: Collective kinds :class:`CollectivePhase` can lower to.
+COLLECTIVE_KINDS = ("allreduce", "allgather", "gather", "bcast")
+
+
+@dataclass(frozen=True)
+class CollectivePhase:
+    """A collective over the whole communicator.
+
+    ``nbytes`` is the payload per rank for ``allgather``/``gather`` and
+    the full payload for ``allreduce``/``bcast`` — the same conventions
+    as :mod:`repro.mpi.collectives`.
+    """
+
+    name: str
+    kind: str
+    nbytes: float
+    op: int
+    root: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in COLLECTIVE_KINDS:
+            raise ValueError(
+                f"unknown collective kind {self.kind!r}; "
+                f"expected one of {COLLECTIVE_KINDS}"
+            )
+        if self.nbytes < 0:
+            raise ValueError("collective nbytes must be >= 0")
+        if not 0 <= self.op < OPS_PER_STEP:
+            raise ValueError(f"op offset must be in [0, {OPS_PER_STEP})")
+
+
+@dataclass(frozen=True)
+class IOPhase:
+    """Shared-filesystem IO: ``nbytes`` read/written by this endpoint.
+
+    Lowered to a delay of ``nbytes / io_bandwidth`` (the cluster's
+    shared-FS bandwidth, divided fairly when every endpoint writes at
+    once is the workload's own modelling choice — pass per-endpoint
+    bytes here).
+    """
+
+    name: str
+    nbytes: float
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError("IO nbytes must be >= 0")
+
+
+Phase = object  # union of the four phase dataclasses (duck-typed)
+
+
+# ---------------------------------------------------------------------------
+# Where the time went.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PhaseBreakdown:
+    """Per-bucket wall seconds of one endpoint (compute / halo /
+    collective / io), compatible with the runner's phase aggregation
+    (same ``fractions()`` contract as
+    :class:`~repro.alya.app.PhaseTimes`)."""
+
+    seconds: dict = field(default_factory=dict)
+
+    def add(self, bucket: str, dt: float) -> None:
+        self.seconds[bucket] = self.seconds.get(bucket, 0.0) + dt
+
+    @property
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+    def fractions(self) -> "dict[str, float]":
+        t = self.total
+        if t <= 0:
+            return {}
+        return {k: v / t for k, v in self.seconds.items()}
+
+
+#: Which breakdown bucket each phase kind bills to.
+_BUCKET = {
+    ComputePhase: "compute",
+    HaloPhase: "halo",
+    CollectivePhase: "collective",
+    IOPhase: "io",
+}
+
+
+# ---------------------------------------------------------------------------
+# The workload contract.
+# ---------------------------------------------------------------------------
+
+
+class Workload(abc.ABC):
+    """One registrable application model.
+
+    Subclasses set :attr:`name` (the registry key and the value of
+    :attr:`ExperimentSpec.workload <repro.core.experiment.ExperimentSpec>`)
+    and :attr:`workmodel_type` (the dataclass their specs must carry),
+    and implement :meth:`default_workmodel` and :meth:`build_app`.
+    """
+
+    #: Registry key; also what ``ExperimentSpec.workload`` names.
+    name: ClassVar[str] = ""
+    #: Work-model dataclass :meth:`validate_spec` accepts.
+    workmodel_type: ClassVar[type] = object
+    #: One-line description for ``repro-study``'s listings.
+    description: ClassVar[str] = ""
+    #: Documented scaling envelope on the Lenox reference grid
+    #: (1/2/4 nodes, 7 ranks x 4 threads, default work model): the
+    #: lowest parallel efficiency any strong-scaling point may show,
+    #: and the largest step-time growth factor a weak-scaling series
+    #: may show.  ``repro-study scaling`` and the workload-scaling
+    #: bench gate against these — a communication-bound workload
+    #: documents an honest (low) floor rather than faking linearity.
+    strong_efficiency_floor: ClassVar[float] = 0.05
+    weak_growth_ceiling: ClassVar[float] = 25.0
+
+    def validate_spec(self, spec) -> None:
+        """Reject specs whose work model this workload cannot run."""
+        if not isinstance(spec.workmodel, self.workmodel_type):
+            raise TypeError(
+                f"workload {self.name!r} needs a "
+                f"{self.workmodel_type.__name__} work model, got "
+                f"{type(spec.workmodel).__name__}"
+            )
+
+    @abc.abstractmethod
+    def default_workmodel(self, fig: str = "fig1"):
+        """The canonical work model for one of the serving figure
+        shapes (``fig1`` = Lenox-sized, ``fig3`` = MareNostrum4-sized)."""
+
+    @abc.abstractmethod
+    def build_app(self, spec, ctx, obs=None, faults=None):
+        """The executable app for ``spec``: an object exposing
+        ``rank_body(comm, ep)`` (and optionally returning a phase
+        breakdown), ready for :class:`~repro.mpi.launcher.MpiJob`."""
+
+    def nudge(self, work, i: int):
+        """Variant ``i`` of ``work``: a distinct spec key at a cost
+        difference too small to measure (the load-generator universes'
+        knob).  Default: bump the model's cell count by ``i``."""
+        if i < 0:
+            raise ValueError("nudge index must be >= 0")
+        return dataclasses.replace(work, n_cells=work.n_cells + i)
+
+
+class PhasedWorkload(Workload):
+    """A workload defined by its per-step phase program.
+
+    Subclasses implement :meth:`phases`; :meth:`build_app` lowers the
+    program through the shared :class:`PhasedApp`.
+    """
+
+    #: Neighbour layout for :class:`HaloPhase` ("grid" or "chain").
+    topology: ClassVar[str] = "grid"
+
+    @abc.abstractmethod
+    def phases(self, work, ctx, n_endpoints: int, step: int) -> Sequence:
+        """The step's phase tuple (pure and deterministic — see the
+        module docstring's contract)."""
+
+    def build_app(self, spec, ctx, obs=None, faults=None) -> "PhasedApp":
+        return PhasedApp(
+            self,
+            spec.workmodel,
+            ctx,
+            sim_steps=spec.sim_steps,
+            topology=self.topology,
+            io_bandwidth=spec.cluster.shared_fs_bandwidth,
+            obs=obs,
+            faults=faults,
+        )
+
+
+# ---------------------------------------------------------------------------
+# The shared lowering.
+# ---------------------------------------------------------------------------
+
+
+class PhasedApp:
+    """Compiles a :class:`PhasedWorkload`'s phase program to the DES.
+
+    Mirrors :class:`~repro.alya.app.SimulatedAlya`'s lowering one
+    construct at a time: compute becomes a (straggler-scaled) timeout,
+    halos become joined non-blocking neighbour exchanges, collectives
+    dispatch to :mod:`repro.mpi.collectives`, IO becomes a bandwidth
+    delay; each phase marks an obs span named after itself.
+    """
+
+    def __init__(
+        self,
+        workload: PhasedWorkload,
+        work,
+        ctx,
+        sim_steps: int = 2,
+        topology: str = "grid",
+        io_bandwidth: float = 1e9,
+        obs=None,
+        faults=None,
+    ) -> None:
+        if sim_steps < 1:
+            raise ValueError("sim_steps must be >= 1")
+        if topology not in ("grid", "chain"):
+            raise ValueError("topology must be 'grid' or 'chain'")
+        if io_bandwidth <= 0:
+            raise ValueError("io_bandwidth must be positive")
+        self.workload = workload
+        self.work = work
+        self.ctx = ctx
+        self.sim_steps = sim_steps
+        self.topology = topology
+        self.io_bandwidth = io_bandwidth
+        self.obs = obs
+        self.faults = faults
+        # Phase programs are pure in (work, ctx, n_endpoints, step);
+        # memoise per (n_endpoints, step) so p endpoints share one
+        # program object instead of recomputing it p times.
+        self._memo: dict = {}
+
+    def _phases_for(self, n_endpoints: int, step: int):
+        key = (n_endpoints, step)
+        prog = self._memo.get(key)
+        if prog is None:
+            prog = tuple(
+                self.workload.phases(self.work, self.ctx, n_endpoints, step)
+            )
+            ops = [
+                p.op for p in prog if isinstance(p, (HaloPhase, CollectivePhase))
+            ]
+            if len(ops) != len(set(ops)):
+                raise ValueError(
+                    f"workload {self.workload.name!r} emitted duplicate op "
+                    f"offsets in step {step}: {sorted(ops)}"
+                )
+            self._memo[key] = prog
+        return prog
+
+    def _halo(self, comm: SimComm, ep: int, op: int, nbytes: float):
+        """All non-blocking halo sends/receives for one phase."""
+        events = []
+        for nb, axis in grid_neighbors(
+            comm.rankmap, ep, self.ctx.endpoint_is_node, self.topology
+        ):
+            send_round = axis * 2 + (0 if nb < ep else 1)
+            recv_round = axis * 2 + (0 if ep < nb else 1)
+            events.append(
+                comm.isend(ep, nb, collective_tag(op, send_round), nbytes)
+            )
+            events.append(comm.recv(ep, nb, collective_tag(op, recv_round)))
+        return events
+
+    def rank_body(self, comm: SimComm, ep: int):
+        """Generator executed by endpoint ``ep``."""
+        env = comm.env
+        breakdown = PhaseBreakdown()
+        obs = self.obs
+        faults = self.faults
+        ep_node = comm.rankmap.node_of(ep) if faults is not None else 0
+        track = f"ep-{ep}"
+
+        def mark(name: str, t0: float, step: int) -> None:
+            if obs is not None and env.now > t0:
+                obs.add_span(name, "solver", t0, env.now, track=track,
+                             step=step)
+
+        for step in range(self.sim_steps):
+            base = step * OPS_PER_STEP
+            step_t0 = env.now
+            for phase in self._phases_for(comm.size, step):
+                t = env.now
+                if isinstance(phase, ComputePhase):
+                    dt = phase.seconds
+                    if faults is not None:
+                        dt *= faults.cpu_factor(ep_node, env.now)
+                    if dt > 0:
+                        yield env.timeout(dt)
+                elif isinstance(phase, HaloPhase):
+                    pending = self._halo(
+                        comm, ep, base + phase.op, phase.nbytes
+                    )
+                    if pending:
+                        yield JoinAll(env, pending)
+                elif isinstance(phase, CollectivePhase):
+                    op = base + phase.op
+                    if phase.kind == "allreduce":
+                        yield from collectives.allreduce(
+                            comm, ep, op=op, nbytes=phase.nbytes
+                        )
+                    elif phase.kind == "allgather":
+                        yield from collectives.allgather(
+                            comm, ep, op=op, nbytes_per_rank=phase.nbytes
+                        )
+                    elif phase.kind == "gather":
+                        yield from collectives.gather(
+                            comm, ep, op=op, nbytes_per_rank=phase.nbytes,
+                            root=phase.root,
+                        )
+                    else:  # bcast
+                        yield from collectives.bcast(
+                            comm, ep, op=op, nbytes=phase.nbytes,
+                            root=phase.root,
+                        )
+                elif isinstance(phase, IOPhase):
+                    dt = phase.nbytes / self.io_bandwidth
+                    if dt > 0:
+                        yield env.timeout(dt)
+                else:
+                    raise TypeError(
+                        f"workload {self.workload.name!r} emitted an "
+                        f"unknown phase {phase!r}"
+                    )
+                breakdown.add(_BUCKET[type(phase)], env.now - t)
+                mark(phase.name, t, step)
+            mark("step", step_t0, step)
+        return breakdown
+
+    def body(self):
+        """The SPMD entry point for :class:`~repro.mpi.launcher.MpiJob`."""
+        return self.rank_body

@@ -71,6 +71,21 @@ def test_fsi_model_requires_solid_fields():
         AlyaWorkModel(case=CaseKind.FSI, n_cells=100)
 
 
+def test_cfd_model_rejects_fsi_fields():
+    """The inverse of the FSI check: a CFD model carrying coupling
+    parameters used to be accepted silently (and the solid cost
+    silently dropped by the CFD lowering) — now it is a loud error."""
+    with pytest.raises(ValueError, match="CFD model must not carry"):
+        AlyaWorkModel(
+            case=CaseKind.CFD, n_cells=100, solid_flops_per_step=5e6,
+        )
+    with pytest.raises(ValueError, match="CFD model must not carry"):
+        AlyaWorkModel(case=CaseKind.CFD, n_cells=100, interface_cells=10)
+    # The defaults (both zero) stay valid, as does a proper FSI model.
+    cfd_model()
+    fsi_model()
+
+
 def test_measured_from_solver():
     mesh = StructuredMesh(ArteryGeometry(), nx=48, ny=12)
     solver = ChannelFlowSolver(mesh)

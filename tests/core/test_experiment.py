@@ -86,6 +86,24 @@ def test_granularity_auto_switches():
     assert forced.effective_granularity() is EndpointGranularity.NODE
 
 
+def test_granularity_boundary_is_exactly_the_limit():
+    """AUTO stays in rank mode AT the limit and switches one rank past
+    it — 256 ranks is still per-rank, 257 is per-node."""
+    def mn4(n_nodes):
+        return make_spec(
+            cluster=catalog.MARENOSTRUM4,
+            n_nodes=n_nodes,
+            ranks_per_node=1,
+            granularity=EndpointGranularity.AUTO,
+        )
+
+    at_limit = mn4(RANK_ENDPOINT_LIMIT)  # 256 x 1 rank
+    assert at_limit.total_ranks == RANK_ENDPOINT_LIMIT == 256
+    assert at_limit.effective_granularity() is EndpointGranularity.RANK
+    past = mn4(RANK_ENDPOINT_LIMIT + 1)  # 257 ranks
+    assert past.effective_granularity() is EndpointGranularity.NODE
+
+
 def test_calibration_covers_all_clusters():
     for spec in (catalog.LENOX, catalog.MARENOSTRUM4, catalog.CTE_POWER,
                  catalog.THUNDERX):

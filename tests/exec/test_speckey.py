@@ -1,4 +1,12 @@
-"""Spec-key canonicalisation: stability and sensitivity."""
+"""Spec-key canonicalisation: stability, sensitivity, exhaustiveness.
+
+The sensitivity sweep is *self-enforcing*: every
+:class:`~repro.core.experiment.ExperimentSpec` field must have an entry
+in :data:`PERTURBATIONS` below, so adding a spec field without teaching
+the key about it fails this module before it can silently alias cache
+entries (the ``workload`` field was added exactly because of that
+hazard).
+"""
 
 import dataclasses
 import re
@@ -8,9 +16,11 @@ import pytest
 from repro.alya.workmodel import AlyaWorkModel, CaseKind
 from repro.containers.recipes import BuildTechnique
 from repro.core.experiment import EndpointGranularity, ExperimentSpec
-from repro.exec.speckey import canonical_spec_payload, spec_key
+from repro.exec.speckey import KEY_VERSION, canonical_spec_payload, spec_key
+from repro.faults import FaultPlan
 from repro.hardware import catalog
 from repro.hardware.topology import SwitchTopology
+from repro.workloads import StencilWorkModel
 
 
 def small_wm(cells=500_000):
@@ -37,6 +47,62 @@ def make_spec(**overrides):
     return ExperimentSpec(**base)
 
 
+#: field under test -> (base overrides, perturbed overrides).  The two
+#: override dicts may carry companion fields needed to keep the spec
+#: constructible (e.g. a cluster swap needs a compatible rank count, a
+#: workload swap needs its work-model type) — what matters is that the
+#: pair isolates a change to the named field.
+PERTURBATIONS = {
+    "name": ({}, {"name": "other"}),  # the one field that must NOT perturb
+    "cluster": ({}, {"cluster": catalog.MARENOSTRUM4, "ranks_per_node": 7}),
+    "runtime_name": ({}, {"runtime_name": "shifter"}),
+    "technique": ({}, {"technique": BuildTechnique.SYSTEM_SPECIFIC}),
+    "workmodel": ({}, {"workmodel": small_wm(cells=600_000)}),
+    "n_nodes": ({}, {"n_nodes": 4}),
+    "ranks_per_node": ({}, {"ranks_per_node": 14}),
+    "threads_per_rank": ({}, {"threads_per_rank": 2}),
+    "sim_steps": ({}, {"sim_steps": 2}),
+    "granularity": ({}, {"granularity": EndpointGranularity.NODE}),
+    "docker_host_network": (
+        {"runtime_name": "docker"},
+        {"runtime_name": "docker", "docker_host_network": True},
+    ),
+    "switch_topology": (
+        {}, {"switch_topology": SwitchTopology(nodes_per_switch=2)},
+    ),
+    "collective_fastpath": ({}, {"collective_fastpath": True}),
+    "fault_plan": (
+        {}, {"fault_plan": FaultPlan(seed=7, link_degrade_rate=0.1)},
+    ),
+    "workload": (
+        {},
+        {
+            "workload": "stencil",
+            "workmodel": StencilWorkModel(n_cells=500_000),
+        },
+    ),
+}
+
+
+def test_perturbation_table_is_exhaustive():
+    """Every spec field — present and future — must appear above."""
+    fields = {f.name for f in dataclasses.fields(ExperimentSpec)}
+    assert set(PERTURBATIONS) == fields, (
+        "ExperimentSpec grew a field without a spec-key perturbation "
+        f"entry: {sorted(fields ^ set(PERTURBATIONS))}"
+    )
+
+
+@pytest.mark.parametrize(
+    "field", sorted(set(PERTURBATIONS) - {"name"})
+)
+def test_every_simulation_field_changes_the_key(field):
+    base_over, changed_over = PERTURBATIONS[field]
+    assert spec_key(make_spec(**base_over)) != spec_key(
+        make_spec(**changed_over)
+    ), f"perturbing {field!r} left the spec key unchanged"
+
+
 def test_key_is_sha256_hex_and_stable():
     spec = make_spec()
     key = spec_key(spec)
@@ -45,26 +111,10 @@ def test_key_is_sha256_hex_and_stable():
 
 
 def test_name_is_excluded_from_key():
-    assert spec_key(make_spec(name="a")) == spec_key(make_spec(name="b"))
-
-
-@pytest.mark.parametrize(
-    "override",
-    [
-        {"runtime_name": "shifter"},
-        {"technique": BuildTechnique.SYSTEM_SPECIFIC},
-        {"n_nodes": 4},
-        {"ranks_per_node": 14},
-        {"threads_per_rank": 2},
-        {"sim_steps": 2},
-        {"granularity": EndpointGranularity.NODE},
-        {"workmodel": small_wm(cells=600_000)},
-        {"cluster": catalog.MARENOSTRUM4, "ranks_per_node": 48},
-        {"switch_topology": SwitchTopology(nodes_per_switch=2)},
-    ],
-)
-def test_every_simulation_field_changes_the_key(override):
-    assert spec_key(make_spec()) != spec_key(make_spec(**override))
+    base_over, changed_over = PERTURBATIONS["name"]
+    assert spec_key(make_spec(**base_over)) == spec_key(
+        make_spec(**changed_over)
+    )
 
 
 def test_payload_covers_all_fields_but_name():
@@ -79,9 +129,16 @@ def test_payload_covers_all_fields_but_name():
     assert set(payload) == expected
 
 
-def test_fault_plan_changes_the_key_only_when_set():
-    from repro.faults import FaultPlan
+def test_workload_name_is_part_of_the_payload():
+    assert canonical_spec_payload(make_spec())["spec"]["workload"] == "alya"
+    stencil = make_spec(
+        workload="stencil", workmodel=StencilWorkModel(n_cells=500_000)
+    )
+    assert canonical_spec_payload(stencil)["spec"]["workload"] == "stencil"
+    assert spec_key(stencil) != spec_key(make_spec())
 
+
+def test_fault_plan_changes_the_key_only_when_set():
     plain = make_spec()
     with_plan = dataclasses.replace(
         plain, fault_plan=FaultPlan(seed=7, link_degrade_rate=0.1)
@@ -91,11 +148,40 @@ def test_fault_plan_changes_the_key_only_when_set():
     assert "fault_plan" not in canonical_spec_payload(plain)["spec"]
 
 
-def test_key_version_bumped_for_set_canonicalisation_fix():
-    from repro.exec.speckey import KEY_VERSION
-
-    assert KEY_VERSION >= 2
+def test_key_version_bumped_for_workload_field():
+    assert KEY_VERSION >= 3
     assert canonical_spec_payload(make_spec())["key_version"] == KEY_VERSION
+
+
+def test_version_is_inside_the_hashed_payload(monkeypatch):
+    """Bumping KEY_VERSION re-keys every spec — old entries become
+    unreachable misses rather than stale hits."""
+    import repro.exec.speckey as speckey
+
+    spec = make_spec()
+    current = spec_key(spec)
+    monkeypatch.setattr(speckey, "KEY_VERSION", KEY_VERSION - 1)
+    assert spec_key(spec) != current
+
+
+def test_old_version_cache_entries_read_as_misses(tmp_path, monkeypatch):
+    """An entry persisted under the previous KEY_VERSION must be a miss
+    for the same spec today (it sits under a different file name)."""
+    import repro.exec.speckey as speckey
+    from repro.exec.cache import ResultCache
+
+    from .test_cache import hand_made_result
+
+    spec = make_spec()
+    cache = ResultCache(tmp_path)
+    with monkeypatch.context() as m:
+        m.setattr(speckey, "KEY_VERSION", KEY_VERSION - 1)
+        old_path = cache.put(spec, hand_made_result(spec.name))
+    assert old_path.exists()
+    assert cache.get(spec) is None  # current version: never looked up
+    cache.put(spec, hand_made_result(spec.name))
+    assert cache.get(spec) is not None
+    assert len(cache) == 2  # both files exist; only one is reachable
 
 
 def test_set_elements_canonicalise_by_type_not_str():

@@ -211,3 +211,18 @@ def test_build_spec_shapes_match_paper_studies():
         build_spec("fig1", nodes=0)
     with pytest.raises(ValueError):
         build_spec("fig1", sim_steps=0)
+
+
+def test_request_dialect_carries_the_workload_key():
+    from repro.workloads import GraphWorkModel
+
+    group = parse_request({"fig": "fig1", "workload": "graph", "count": 2})
+    assert group.spec.workload == "graph"
+    assert isinstance(group.spec.workmodel, GraphWorkModel)
+    assert group.spec.name == "serve-fig1-graph-docker-n2"
+    # Default stays Alya with the historical (untagged) spec name.
+    plain = parse_request({"fig": "fig1"})
+    assert plain.spec.workload == "alya"
+    assert plain.spec.name == "serve-fig1-docker-n2"
+    with pytest.raises(KeyError, match="registered"):
+        parse_request({"fig": "fig1", "workload": "typo"})

@@ -14,6 +14,7 @@ universe builders' contracts (distinct keys, equal cost, balance).
 """
 
 import asyncio
+import dataclasses
 import json
 import os
 import subprocess
@@ -97,6 +98,38 @@ def test_balanced_universe_spreads_evenly():
     counts = Counter(router.shard_for(spec_key(s)) for s in universe)
     assert sorted(counts.values()) == [4, 4, 4, 4]
     assert len({spec_key(s) for s in universe}) == 16
+
+
+def test_universes_are_workload_parameterized():
+    from repro.workloads import StencilWorkModel
+
+    universe = default_universe(6, fig="fig1", nodes=2, workload="stencil")
+    assert len({spec_key(s) for s in universe}) == 6
+    for spec in universe:
+        assert spec.workload == "stencil"
+        assert isinstance(spec.workmodel, StencilWorkModel)
+        assert spec.name.startswith("serve-fig1-stencil-")
+    with pytest.raises(KeyError, match="registered"):
+        default_universe(2, workload="no-such-workload")
+
+
+def test_same_geometry_different_workloads_never_collide():
+    """The latent collision the workload field fixes: two universes
+    sharing nodes/fig/variant indices must still mint distinct keys."""
+    alya = default_universe(4, fig="fig1", nodes=2)
+    stencil = default_universe(4, fig="fig1", nodes=2, workload="stencil")
+    keys = [spec_key(s) for s in alya + stencil]
+    assert len(set(keys)) == 8
+
+
+def test_ensure_distinct_keys_is_loud_on_collision():
+    from repro.serve.loadgen import ensure_distinct_keys
+
+    universe = default_universe(3, fig="fig1", nodes=2)
+    ensure_distinct_keys(universe)  # distinct: fine
+    twin = dataclasses.replace(universe[0], name="same-physics-other-name")
+    with pytest.raises(ValueError, match="universe key collision"):
+        ensure_distinct_keys(universe + [twin])
 
 
 # ---------------------------- the scoreboard ---------------------------------

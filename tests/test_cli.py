@@ -82,6 +82,32 @@ def test_all_excludes_trace_and_faults():
     assert "trace" in _ALL_EXCLUDES
     assert "faults" in _COMMANDS
     assert "faults" in _ALL_EXCLUDES
+    assert "scaling" in _COMMANDS
+    assert "scaling" in _ALL_EXCLUDES
+
+
+def test_trace_command_accepts_a_workload(tmp_path, capsys):
+    rc = main(["trace", "--workload", "stencil", "--runtime", "bare-metal",
+               "--sim-steps", "1", "--nodes", "2",
+               "--out", str(tmp_path / "st")])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "trace-fig1-stencil-bare-metal" in out
+
+
+def test_unknown_workload_is_a_usage_error(capsys):
+    assert main(["trace", "--workload", "no-such"]) == 2
+    err = capsys.readouterr().err
+    assert "no-such" in err and "stencil" in err
+
+
+def test_scaling_command_gates_on_documented_bounds(capsys):
+    rc = main(["scaling", "--workload", "stencil", "--sim-steps", "1"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "Strong scaling" in out and "Weak scaling" in out
+    assert "efficiency" in out
+    assert "[FAIL]" not in out
 
 
 def test_timeout_validation(capsys):

@@ -1,0 +1,160 @@
+"""Graph workload: shrink invariants, phase structure, runs."""
+
+import pytest
+
+from repro.core.experiment import EndpointGranularity, ExperimentSpec
+from repro.core.runner import ExperimentRunner
+from repro.hardware import catalog
+from repro.workloads import (
+    CollectivePhase,
+    ComputePhase,
+    GraphWorkModel,
+    OPS_PER_STEP,
+    get_workload,
+)
+
+
+def small_model(**overrides):
+    base = dict(n_cells=1_000_000, rounds=4)
+    base.update(overrides)
+    return GraphWorkModel(**base)
+
+
+def make_spec(n_nodes=2, sim_steps=2, **overrides):
+    base = dict(
+        name=f"graph-n{n_nodes}",
+        cluster=catalog.LENOX,
+        runtime_name="bare-metal",
+        technique=None,
+        workmodel=small_model(),
+        n_nodes=n_nodes,
+        ranks_per_node=4,
+        sim_steps=sim_steps,
+        granularity=EndpointGranularity.RANK,
+        workload="graph",
+    )
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+class _Ctx:
+    def __init__(self, ranks_per_node=4, endpoint_is_node=False):
+        self.ranks_per_node = ranks_per_node
+        self.endpoint_is_node = endpoint_is_node
+        self.threads_per_rank = 1
+        self.sustained_core_flops = 1e9
+        self.cpu_overhead = 1.0
+
+        class _Omp:
+            @staticmethod
+            def threaded_time(serial, threads):
+                return serial / threads
+
+        self.omp = _Omp()
+
+
+# ------------------------------- the model -----------------------------------
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        {"n_cells": 0},
+        {"avg_degree": 0},
+        {"flops_per_edge": 0},
+        {"sample_flops_per_edge": 0},
+        {"sample_fraction": 0.0},
+        {"sample_fraction": 1.5},
+        {"shrink": 0.0},
+        {"shrink": 1.0},
+        {"rounds": 0},
+        {"rounds": (OPS_PER_STEP - 2) // 2 + 1},
+        {"bytes_per_vertex": 0},
+        {"memory_bytes_per_cell": 0},
+        {"nominal_timesteps": 0},
+    ],
+)
+def test_model_validation(bad):
+    with pytest.raises(ValueError):
+        small_model(**bad)
+
+
+def test_active_vertices_shrink_geometrically():
+    m = small_model(shrink=0.5)
+    assert m.active_vertices(0) == m.n_cells
+    assert m.active_vertices(3) == pytest.approx(m.n_cells / 8)
+    with pytest.raises(ValueError):
+        m.active_vertices(-1)
+
+
+# ---------------------------- the phase program ------------------------------
+
+
+def test_phase_structure_rounds_then_finish():
+    wl = get_workload("graph")
+    m = small_model()
+    prog = wl.phases(m, _Ctx(), n_endpoints=8, step=0)
+    # 4 phases per round (sparsify, sketch, local, integrate) + 2 finish.
+    assert len(prog) == 4 * m.rounds + 2
+    assert prog[-2].kind == "gather" and prog[-1].kind == "bcast"
+    ops = [p.op for p in prog if isinstance(p, CollectivePhase)]
+    assert len(ops) == len(set(ops))  # distinct tag windows
+    names = [p.name for p in prog if isinstance(p, ComputePhase)]
+    assert names == ["sparsify", "local"] * m.rounds
+
+
+def test_per_round_traffic_strictly_decreases():
+    wl = get_workload("graph")
+    prog = wl.phases(small_model(), _Ctx(), n_endpoints=8, step=0)
+    sketches = [p.nbytes for p in prog if p.name == "sketch"]
+    updates = [p.nbytes for p in prog if p.name == "integrate"]
+    assert sketches == sorted(sketches, reverse=True)
+    assert updates == sorted(updates, reverse=True)
+    assert all(a > b for a, b in zip(sketches, sketches[1:]))
+
+
+def test_invariant_check_rejects_non_shrinking_volumes():
+    wl = get_workload("graph")
+    m = small_model()
+    with pytest.raises(ValueError, match="not less than"):
+        wl._check_invariants(m, [100.0, 100.0])
+    with pytest.raises(ValueError, match="geometric bound"):
+        # Decreasing, but summing past first/(1-shrink) = 200.
+        wl._check_invariants(m, [100.0, 99.0, 98.0])
+    wl._check_invariants(m, [100.0, 50.0, 25.0])  # a true geometric tail
+
+
+# ------------------------------- end to end ----------------------------------
+
+
+def test_run_is_collective_heavy_and_deterministic():
+    r1 = ExperimentRunner().run(make_spec())
+    r2 = ExperimentRunner().run(make_spec())
+    assert r1.avg_step_seconds == r2.avg_step_seconds
+    assert set(r1.phase_fractions) == {"compute", "collective"}
+    # The round structure is collective-bound by design — the contrast
+    # with the p2p stencil is the registry's coverage argument.
+    assert (
+        r1.phase_fractions["collective"] > r1.phase_fractions["compute"]
+    )
+
+
+def test_node_granularity_runs():
+    r = ExperimentRunner().run(
+        make_spec(granularity=EndpointGranularity.NODE)
+    )
+    assert r.avg_step_seconds > 0
+
+
+def test_default_workmodels_fit_their_clusters():
+    wl = get_workload("graph")
+    assert (
+        wl.default_workmodel("fig1").memory_per_node(1)
+        < catalog.LENOX.node.memory.capacity
+    )
+    assert (
+        wl.default_workmodel("fig3").memory_per_node(2)
+        < catalog.MARENOSTRUM4.node.memory.capacity
+    )
+    with pytest.raises(ValueError):
+        wl.default_workmodel("fig2")

@@ -1,0 +1,90 @@
+"""Alya-through-the-registry parity.
+
+The registry refactor must be invisible to everything recorded against
+the old Alya-only code path: the app object, the spec keys, the serve
+spec names and the four-bucket phase breakdown all have to come out
+byte-identical.  (The golden trace digests themselves are pinned by
+``tests/obs/test_golden_traces.py`` — these tests cover the plumbing
+that feeds them.)
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.alya.app import ComputeContext, SimulatedAlya
+from repro.containers.recipes import BuildTechnique
+from repro.core import calibration
+from repro.core.experiment import EndpointGranularity, ExperimentSpec
+from repro.core.runner import ExperimentRunner
+from repro.exec.speckey import spec_key
+from repro.hardware import catalog
+from repro.workloads import get_workload
+
+
+def alya_spec(**overrides):
+    base = dict(
+        name="parity-test",
+        cluster=catalog.LENOX,
+        runtime_name="bare-metal",
+        technique=None,
+        workmodel=calibration.lenox_cfd_workmodel(),
+        n_nodes=2,
+        ranks_per_node=7,
+        threads_per_rank=4,
+        sim_steps=1,
+        granularity=EndpointGranularity.RANK,
+    )
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+def test_default_workload_is_alya():
+    spec = alya_spec()
+    assert spec.workload == "alya"
+    assert spec_key(spec) == spec_key(alya_spec(workload="alya"))
+
+
+def test_registry_hands_back_the_untouched_alya_app():
+    spec = alya_spec()
+    ctx = ComputeContext(
+        core_peak_flops=2e10,
+        threads_per_rank=spec.threads_per_rank,
+        ranks_per_node=spec.ranks_per_node,
+    )
+    app = get_workload("alya").build_app(spec, ctx)
+    assert type(app) is SimulatedAlya
+    assert app.work is spec.workmodel
+    assert app.sim_steps == spec.sim_steps
+
+
+def test_alya_phase_breakdown_keeps_the_four_buckets():
+    result = ExperimentRunner().run(alya_spec())
+    assert list(result.phase_fractions) == [
+        "compute", "halo", "collective", "coupling",
+    ]
+    assert sum(result.phase_fractions.values()) == pytest.approx(1.0)
+
+
+def test_alya_default_workmodels_match_calibration():
+    wl = get_workload("alya")
+    assert wl.default_workmodel("fig1") == calibration.lenox_cfd_workmodel()
+    assert wl.default_workmodel("fig3") == calibration.mn4_fsi_workmodel()
+
+
+def test_serve_spec_names_are_unchanged_for_alya():
+    from repro.serve.requests import build_spec
+
+    fig1 = build_spec("fig1", runtime="docker", nodes=2)
+    assert fig1.name == "serve-fig1-docker-n2"  # no workload tag
+    fig3 = build_spec("fig3", nodes=4)
+    assert fig3.name == "serve-fig3-singularity-n4"
+    # Non-Alya specs tag the name so scoreboards can tell them apart.
+    sten = build_spec("fig1", runtime="docker", nodes=2, workload="stencil")
+    assert sten.name == "serve-fig1-stencil-docker-n2"
+
+
+def test_workload_field_rides_replace_and_revalidates():
+    spec = alya_spec()
+    with pytest.raises(TypeError):
+        dataclasses.replace(spec, workload="stencil")

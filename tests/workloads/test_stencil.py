@@ -1,0 +1,187 @@
+"""Halo-exchange stencil: model validation, phase program, runs."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.experiment import EndpointGranularity, ExperimentSpec
+from repro.core.runner import ExperimentRunner
+from repro.hardware import catalog
+from repro.workloads import (
+    ComputePhase,
+    HaloPhase,
+    IOPhase,
+    StencilWorkModel,
+    get_workload,
+)
+
+
+def small_model(**overrides):
+    base = dict(n_cells=2_000_000, checkpoint_every=2)
+    base.update(overrides)
+    return StencilWorkModel(**base)
+
+
+def make_spec(runtime="bare-metal", n_nodes=2, sim_steps=2, **overrides):
+    from repro.containers.recipes import BuildTechnique
+
+    base = dict(
+        name=f"stencil-{runtime}-n{n_nodes}",
+        cluster=catalog.LENOX,
+        runtime_name=runtime,
+        technique=(
+            None if runtime == "bare-metal"
+            else BuildTechnique.SELF_CONTAINED
+        ),
+        workmodel=small_model(),
+        n_nodes=n_nodes,
+        ranks_per_node=4,
+        sim_steps=sim_steps,
+        granularity=EndpointGranularity.RANK,
+        workload="stencil",
+    )
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+# ------------------------------- the model -----------------------------------
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        {"n_cells": 0},
+        {"flops_per_cell_step": 0},
+        {"sweeps_per_step": 0},
+        {"halo_surface_coeff": 0},
+        {"halo_fields": 0},
+        {"bytes_per_value": 0},
+        {"memory_bytes_per_cell": 0},
+        {"checkpoint_every": -1},
+        {"checkpoint_bytes_per_cell": -1},
+        {"nominal_timesteps": 0},
+    ],
+)
+def test_model_validation(bad):
+    with pytest.raises(ValueError):
+        small_model(**bad)
+
+
+def test_halo_bytes_follow_surface_to_volume_scaling():
+    m = small_model()
+    # Halving the subdomain shrinks the surface by 2^(2/3), not 2.
+    ratio = m.halo_bytes(1) / m.halo_bytes(8)
+    assert ratio == pytest.approx(8 ** (2.0 / 3.0))
+    assert m.memory_per_node(2) == pytest.approx(
+        m.n_cells / 2 * m.memory_bytes_per_cell * 1.05
+    )
+
+
+# ---------------------------- the phase program ------------------------------
+
+
+class _Ctx:
+    """Just enough context for phases(): geometry + cost model."""
+
+    def __init__(self, ranks_per_node=4, endpoint_is_node=False):
+        self.ranks_per_node = ranks_per_node
+        self.endpoint_is_node = endpoint_is_node
+        self.threads_per_rank = 1
+        self.sustained_core_flops = 1e9
+        self.cpu_overhead = 1.0
+
+        class _Omp:
+            @staticmethod
+            def threaded_time(serial, threads):
+                return serial / threads
+
+        self.omp = _Omp()
+
+
+def test_phases_alternate_compute_and_halo():
+    wl = get_workload("stencil")
+    m = small_model(checkpoint_every=0)
+    prog = wl.phases(m, _Ctx(), n_endpoints=8, step=0)
+    assert len(prog) == 2 * m.sweeps_per_step
+    assert all(isinstance(p, ComputePhase) for p in prog[0::2])
+    assert all(isinstance(p, HaloPhase) for p in prog[1::2])
+    assert sorted(p.op for p in prog[1::2]) == list(range(m.sweeps_per_step))
+    # Pure and deterministic: the same call yields the same program.
+    assert prog == wl.phases(m, _Ctx(), n_endpoints=8, step=0)
+
+
+def test_checkpoint_rides_the_documented_cadence():
+    wl = get_workload("stencil")
+    m = small_model(checkpoint_every=3)
+    with_io = wl.phases(m, _Ctx(), n_endpoints=4, step=2)  # step 3 of 3
+    without = wl.phases(m, _Ctx(), n_endpoints=4, step=1)
+    assert isinstance(with_io[-1], IOPhase)
+    assert not any(isinstance(p, IOPhase) for p in without)
+    assert with_io[-1].nbytes == pytest.approx(
+        m.n_cells / 4 * m.checkpoint_bytes_per_cell
+    )
+
+
+# ------------------------------- end to end ----------------------------------
+
+
+def test_run_is_p2p_only_and_deterministic():
+    r1 = ExperimentRunner().run(make_spec())
+    r2 = ExperimentRunner().run(make_spec())
+    assert r1.avg_step_seconds == r2.avg_step_seconds
+    assert r1.messages == r2.messages
+    # No collectives at all: compute + halo (+ checkpoint IO).
+    assert set(r1.phase_fractions) == {"compute", "halo", "io"}
+    assert r1.phase_fractions["halo"] > 0
+    assert r1.messages > 0
+
+
+def test_more_nodes_shift_time_into_halos():
+    one = ExperimentRunner().run(make_spec(n_nodes=1))
+    four = ExperimentRunner().run(make_spec(n_nodes=4))
+    assert (
+        four.phase_fractions["halo"] > one.phase_fractions["halo"]
+    )
+
+
+def test_node_granularity_runs():
+    r = ExperimentRunner().run(
+        make_spec(granularity=EndpointGranularity.NODE)
+    )
+    assert r.avg_step_seconds > 0
+    assert r.phase_fractions["compute"] > 0
+
+
+def test_containerised_run_is_slower_than_bare_metal():
+    # One node: no fabric in play, so the comparison isolates the
+    # runtime's CPU overhead (multi-node halo timing is latency-shaped
+    # and can reorder runtimes by fractions of a percent).
+    bare = ExperimentRunner().run(make_spec(n_nodes=1))
+    dock = ExperimentRunner().run(make_spec(runtime="docker", n_nodes=1))
+    assert dock.avg_step_seconds > bare.avg_step_seconds
+
+
+def test_default_workmodels_fit_their_clusters():
+    wl = get_workload("stencil")
+    fig1 = wl.default_workmodel("fig1")
+    assert fig1.memory_per_node(1) < catalog.LENOX.node.memory.capacity
+    fig3 = wl.default_workmodel("fig3")
+    assert (
+        fig3.memory_per_node(2) < catalog.MARENOSTRUM4.node.memory.capacity
+    )
+    with pytest.raises(ValueError):
+        wl.default_workmodel("fig2")
+
+
+def test_nudged_variants_change_the_key_not_the_cost():
+    from repro.exec.speckey import spec_key
+
+    wl = get_workload("stencil")
+    base = make_spec()
+    nudged = dataclasses.replace(
+        base, workmodel=wl.nudge(base.workmodel, 1)
+    )
+    assert spec_key(base) != spec_key(nudged)
+    a = ExperimentRunner().run(base).avg_step_seconds
+    b = ExperimentRunner().run(nudged).avg_step_seconds
+    assert b == pytest.approx(a, rel=1e-3)
